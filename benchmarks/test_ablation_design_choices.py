@@ -1,0 +1,42 @@
+"""Ablations of Slingshot's remaining design choices (DESIGN.md §5).
+
+* TTI-boundary alignment of migration (vs immediate flipping).
+* In-switch vs software (DPDK) fronthaul middlebox.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_tti_alignment(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(ablations.tti_alignment, 2)
+    print(f"\n  aligned migrations:   {result.aligned_conflicting_slots} "
+          f"mixed-source slots at the RU")
+    print(f"  unaligned migrations: {result.unaligned_conflicting_slots} "
+          f"mixed-source slots at the RU (protocol violation)")
+    benchmark.extra_info["unaligned_conflicts"] = result.unaligned_conflicting_slots
+
+    # Aligned migration never lets the RU hear two PHYs in one slot.
+    assert result.aligned_conflicting_slots == 0
+    # Immediate (control-plane-style) flipping does.
+    assert result.unaligned_conflicting_slots >= 1
+
+
+def test_ablation_software_vs_switch_middlebox(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(ablations.software_vs_switch_middlebox)
+    print(f"\n  software mbox p99.999 latency: "
+          f"{result.software_p99999_latency_us:.1f} us (paper: ~10 us)")
+    print(f"  coverage radius reduction:     "
+          f"{result.software_radius_reduction:.1%} (paper: ~10 %)")
+    print(f"  dedicated CPU fraction:        "
+          f"{result.software_cpu_fraction:.1%} (paper: ~10 % of PHY cores)")
+    print(f"  NIC bandwidth multiplier:      "
+          f"{result.software_nic_multiplier:.0f}x (extra hop per packet)")
+    print(f"  in-switch added latency:       "
+          f"{result.switch_added_latency_us:.1f} us (~0 against the budget)")
+    benchmark.extra_info["radius_reduction"] = result.software_radius_reduction
+
+    assert 6.0 < result.software_p99999_latency_us < 16.0
+    assert 0.06 < result.software_radius_reduction < 0.16
+    assert 0.05 < result.software_cpu_fraction < 0.15
+    assert result.software_nic_multiplier == 2.0
+    assert result.switch_added_latency_us < 1.0

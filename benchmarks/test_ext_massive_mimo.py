@@ -1,0 +1,29 @@
+"""§10 extension — massive-MIMO migration transient.
+
+Not a paper figure: quantifies the future-work claim that beamforming
+state is still discardable soft state, with a larger (but bounded, and
+non-disconnecting) transient than the small-antenna case.
+"""
+
+from repro.experiments import ext_massive_mimo
+
+
+def test_ext_massive_mimo_transient(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(ext_massive_mimo.run, 3.0, 1.8)
+    print("\n" + ext_massive_mimo.summarize(result))
+    benchmark.extra_info["mimo_dip_ms"] = result.massive_mimo.dip_duration_ms()
+    benchmark.extra_info["small_dip_ms"] = result.small_antenna.dip_duration_ms()
+
+    # Larger transient than the small-antenna case...
+    assert (
+        result.massive_mimo.dip_duration_ms()
+        > result.small_antenna.dip_duration_ms()
+    )
+    # ...but bounded (well under a second) and never a disconnection.
+    assert result.massive_mimo.dip_duration_ms() < 500.0
+    assert result.massive_mimo.rlf_events == 0
+    assert result.small_antenna.rlf_events == 0
+    # Both recover to the offered rate.
+    for transient in (result.massive_mimo, result.small_antenna):
+        tail = [m for t, m in transient.series if t > 400.0]
+        assert sum(tail) / max(len(tail), 1) > 8.0

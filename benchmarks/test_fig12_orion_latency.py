@@ -1,0 +1,24 @@
+"""Fig 12 — one-way latency added by Orion vs downlink load.
+
+Paper: median/p99/p99.999 added one-way latency stays under 200 us even
+at 3.4 Gb/s of downlink user traffic — well within the one-TTI (500 us)
+FAPI transfer budget.
+"""
+
+from repro.experiments import fig12_orion_latency
+
+
+def test_fig12_orion_added_latency(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(fig12_orion_latency.run, 1.0)
+    print("\n" + fig12_orion_latency.summarize(result))
+    benchmark.extra_info["max_p99999_us"] = result.max_added_latency_us()
+
+    # Latency grows with load...
+    medians = [p.median_us for p in result.points]
+    assert medians == sorted(medians)
+    # ...but stays far below the 500 us TTI budget at every load point.
+    assert result.max_added_latency_us() < 250.0
+    # Idle overhead is a few microseconds (two service hops + wire).
+    assert result.points[0].median_us < 10.0
+    # The top load point actually offered ~3.4 Gb/s worth of messages.
+    assert result.points[-1].samples > 5_000

@@ -1,0 +1,27 @@
+"""Fig 3 — pre-copy VM migration pause-time CDF (TCP vs RDMA).
+
+Paper: 80 migrations; median pause 244 ms; FlexRAN crashes in all runs.
+"""
+
+import numpy as np
+
+from repro.experiments import fig3_vm_migration
+from repro.experiments.fig3_vm_migration import TransportKind
+
+
+def test_fig3_vm_migration_pause_cdf(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(fig3_vm_migration.run, 40)
+    print("\n" + fig3_vm_migration.summarize(result))
+    for transport in (TransportKind.TCP, TransportKind.RDMA):
+        cdf = result.cdf(transport)
+        series = ", ".join(f"({p:.0f}ms,{f:.2f})" for p, f in cdf[::8])
+        print(f"  CDF {transport.value}: {series}")
+    benchmark.extra_info["median_pause_ms"] = result.median_pause_ms()
+    benchmark.extra_info["crash_fraction"] = result.crash_fraction()
+    # Paper's qualitative results.
+    assert 150.0 < result.median_pause_ms() < 400.0      # ~244 ms.
+    assert result.crash_fraction() == 1.0                 # All runs crash.
+    tcp = np.median([r.pause_time_ms for r in result.tcp_runs])
+    rdma = np.median([r.pause_time_ms for r in result.rdma_runs])
+    assert rdma < tcp                                     # RDMA helps, but not enough.
+    assert min(r.pause_time_ms for r in result.all_runs) > 50.0

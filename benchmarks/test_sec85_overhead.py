@@ -1,0 +1,34 @@
+"""§8.5 — overhead of maintaining the hot secondary PHY.
+
+Paper: null FAPI keeps the secondary's marginal CPU/FEC cost negligible,
+there is no L2 overhead, and the null-FAPI traffic is under 1 MB/s.
+The ablation shows the rejected alternative (duplicate real FAPI work)
+costs ~100 % of the primary's compute.
+"""
+
+from repro.experiments import ablations, sec85_overhead
+
+
+def test_sec85_secondary_phy_overhead(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(sec85_overhead.run, 2.5)
+    print("\n" + sec85_overhead.summarize(result))
+    benchmark.extra_info["secondary_cpu_fraction"] = result.secondary_cpu_fraction
+    benchmark.extra_info["null_fapi_Bps"] = result.null_fapi_bytes_per_s
+
+    assert result.secondary_cpu_fraction < 0.05        # Negligible CPU.
+    assert result.secondary_fec_decodes == 0           # No accelerator use.
+    assert result.null_fapi_bytes_per_s < 1_000_000    # < 1 MB/s (paper).
+    assert result.primary_fec_decodes > 0              # Primary worked.
+
+
+def test_sec85_null_vs_duplicate_ablation(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(ablations.null_vs_duplicate_fapi, 1.5)
+    print(f"\n  null-FAPI standby:      {result.null_secondary_fraction:.1%} "
+          f"of primary compute")
+    print(f"  duplicate-FAPI standby: {result.duplicate_secondary_fraction:.1%} "
+          f"of primary compute (the rejected design)")
+    benchmark.extra_info["null_fraction"] = result.null_secondary_fraction
+    benchmark.extra_info["duplicate_fraction"] = result.duplicate_secondary_fraction
+
+    assert result.null_secondary_fraction < 0.05
+    assert result.duplicate_secondary_fraction > 0.6   # ~100 % overhead.

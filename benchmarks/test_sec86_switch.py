@@ -1,0 +1,34 @@
+"""§8.6 — switch ASIC resources and the healthy inter-packet gap.
+
+Paper (256 RUs / 256 servers): crossbar 5.2 %, ALU 10.4 %, gateway
+14.1 %, SRAM 5.3 %, hash bits 9.5 %; only SRAM grows with scale. Max
+healthy downlink inter-packet gap measured 393 us -> 450 us timeout.
+"""
+
+from repro.experiments import sec86_switch
+
+PAPER_PERCENT = {
+    "crossbar": 5.2,
+    "alu": 10.4,
+    "gateway": 14.1,
+    "sram_bits": 5.3,
+    "hash_bits": 9.5,
+}
+
+
+def test_sec86_switch_resources_and_gap(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(sec86_switch.run, 256, 256, 2.5)
+    print("\n" + sec86_switch.summarize(result))
+    benchmark.extra_info["resource_percent"] = result.resource_percent
+    benchmark.extra_info["max_gap_us"] = result.max_gap_us
+
+    for name, paper_value in PAPER_PERCENT.items():
+        assert abs(result.resource_percent[name] - paper_value) < 1.0, name
+    # Only SRAM scales with deployment size.
+    assert result.sram_scaling[1024] > 2 * result.sram_scaling[64]
+    # The measured gap motivates the 450 us timeout: a real fraction of
+    # it, but strictly below (no false positives).
+    assert 200.0 < result.max_gap_us < result.detector_timeout_us
+    # Busy traffic only densifies packets; it cannot widen the max gap
+    # beyond the timeout either.
+    assert result.max_gap_busy_us < result.detector_timeout_us

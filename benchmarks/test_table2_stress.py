@@ -1,0 +1,38 @@
+"""Table 2 — stress test for discarding PHY state.
+
+Paper: with 1..50 planned migrations/second for 60 s under an uplink
+UDP flow, network downtime stays below 10 ms through 20 migrations/s
+(zero blackout 10 ms bins) despite interrupting in-flight HARQ
+sequences; only the extreme 50/s rate shows blackout intervals.
+
+Bench scaling: 6 s windows instead of 60 s (full-length run recorded in
+EXPERIMENTS.md). Our absolute loss rates are lower than the paper's
+because this implementation's drain + HARQ/RLC retransmission recovers
+in-flight data the authors' prototype lost; the qualitative rows —
+sub-10 ms downtime, interrupted-HARQ growth with rate — hold.
+"""
+
+from repro.experiments import table2_stress
+
+
+def test_table2_state_discard_stress(one_shot_benchmark, benchmark):
+    result = one_shot_benchmark(
+        table2_stress.run, [1.0, 10.0, 20.0, 50.0], 6.0
+    )
+    print("\n" + table2_stress.summarize(result))
+    rows = {row.migrations_per_s: row for row in result.rows}
+    benchmark.extra_info["interrupted_harq_by_rate"] = {
+        rate: row.interrupted_harq_seqs for rate, row in rows.items()
+    }
+
+    # Sub-10 ms downtime through 20 migrations/s: no zero-throughput
+    # 10 ms bin (the paper's availability target).
+    for rate in (1.0, 10.0, 20.0):
+        assert rows[rate].blackout_bins_10ms == 0, rate
+        assert rows[rate].min_tput_mbps_per_10ms > 0.0, rate
+    # Migrations really executed at roughly the requested rates.
+    assert rows[50.0].migrations_executed > 4 * rows[10.0].migrations_per_s
+    # Interrupted HARQ sequences grow with the migration rate yet the
+    # flow keeps running (the §4 state-discarding argument).
+    assert rows[50.0].interrupted_harq_seqs > rows[1.0].interrupted_harq_seqs
+    assert rows[50.0].avg_loss_rate < 0.05

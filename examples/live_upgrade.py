@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Fig 11 scenario: zero-downtime live PHY upgrade to better FEC.
+
+Three UEs push uplink UDP. The primary PHY runs an "old build" with a
+small LDPC decoding-iteration budget — the two phones sit near the
+16-QAM decoding threshold and suffer. The operator then live-upgrades:
+the standby is restarted with the new build (more iterations), the cell
+is re-initialized on it from Orion's stored config, and traffic migrates
+at a TTI boundary. Throughput rises and the shares even out — with zero
+control-plane gaps at the RU.
+
+Run:  python examples/live_upgrade.py
+"""
+
+from repro.experiments import fig11_upgrade
+
+
+def main() -> None:
+    print("Running the live-upgrade scenario (3 UEs, uplink UDP, "
+          "upgrade at t=5 s; this takes a couple of minutes)...")
+    result = fig11_upgrade.run(duration_s=10.0, upgrade_at_s=5.0)
+    print("\n" + fig11_upgrade.summarize(result))
+    print("\nPer-second uplink throughput (Mb/s):")
+    names = list(result.series)
+    print("  t(s)   " + "  ".join(f"{name:>14s}" for name in names))
+    length = min(len(result.series[name]) for name in names)
+    for index in range(length):
+        time_s = result.series[names[0]][index][0]
+        row = "  ".join(
+            f"{result.series[name][index][1]:14.1f}" for name in names
+        )
+        marker = "  <- upgrade" if abs(time_s - result.upgrade_time_s) < 0.5 else ""
+        print(f"  {time_s:5.0f}  {row}{marker}")
+
+
+if __name__ == "__main__":
+    main()

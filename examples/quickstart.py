@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a Slingshot-protected 5G cell and fail it over.
+
+Builds the paper's testbed topology in simulation — one radio unit, an
+edge switch running Slingshot's fronthaul middlebox, two PHY servers
+(primary + null-FAPI hot standby), an L2 server with the Orion FAPI
+middlebox, a core network, and three UEs — then SIGKILLs the primary PHY
+and shows the in-switch detection, the TTI-aligned data-plane migration,
+and the UEs sailing through without a radio link failure.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CellConfig, build_slingshot_cell
+from repro.sim.units import MS, US, ns_to_ms, ns_to_us, s_to_ns
+
+
+def main() -> None:
+    print("Building the cell (RU + switch + 2 PHY servers + L2 + core + 3 UEs)...")
+    cell = build_slingshot_cell(CellConfig(seed=42))
+
+    print("Running 1 s of normal operation...")
+    cell.run_for(s_to_ns(1.0))
+    primary = cell.phy_servers[0].phy
+    secondary = cell.phy_servers[1].phy
+    print(f"  primary PHY:   {primary.cpu.work_slots} work slots, "
+          f"{primary.cpu.fec_decodes} FEC decodes")
+    print(f"  secondary PHY: {secondary.cpu.work_slots} work slots "
+          f"(kept alive by {cell.l2_orion.stats.null_requests_sent} null FAPI "
+          f"requests, {secondary.cpu.busy_core_us / 1e3:.1f} core-ms total)")
+    print(f"  switch filtered {cell.middlebox.stats.dl_filtered} standby "
+          f"downlink packets away from the RU")
+
+    kill_at = cell.sim.now + 137 * US  # Mid-slot, like a real crash.
+    print(f"\nSIGKILLing the primary PHY at t={ns_to_ms(kill_at):.3f} ms...")
+    cell.kill_phy_at(0, kill_at)
+    cell.run_for(s_to_ns(1.0))
+
+    detected = cell.trace.last("mbox.failure_detected")
+    committed = cell.trace.last("mbox.migration_committed")
+    print(f"  in-switch detection after "
+          f"{ns_to_us(detected.time - kill_at):.0f} us "
+          f"(timeout 450 us, precision 9 us)")
+    print(f"  fronthaul remapped in the data plane at slot "
+          f"{committed['slot']} -> PHY {committed['dest_phy']}")
+    print(f"  RU control gaps across the whole run: "
+          f"{cell.ru.stats.slots_without_control} slots "
+          f"(paper: at most 3 dropped TTIs per failover)")
+
+    print("\nUE outcomes:")
+    for ue_id, ue in cell.ues.items():
+        print(f"  {ue.name:14s}: RLF events={ue.stats.rlf_events}, "
+              f"attached={ue.attached}, "
+              f"DL decode ok={ue.stats.dl_crc_ok}/{ue.stats.dl_tbs_received}")
+    assert all(ue.stats.rlf_events == 0 for ue in cell.ues.values())
+    print("\nNo UE ever noticed: failover completed without disconnection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""End-to-end applications used by the paper's evaluation.
+
+* :mod:`repro.apps.ping` — 10 ms-interval echo from the application
+  server to a UE (Fig 9, §8.7 latency microbenchmarks).
+* :mod:`repro.apps.iperf` — UDP and TCP throughput measurement with
+  10 ms receiver bins (Fig 10, Table 2).
+* :mod:`repro.apps.video` — constant-bitrate talking-head video stream
+  with per-interval receiver bitrate (Fig 8's QoE proxy).
+"""
+
+from repro.apps.ping import PingClient, PingSample, UePingResponder
+from repro.apps.iperf import (
+    UdpIperfDownlink,
+    UdpIperfUplink,
+    TcpIperfDownlink,
+    TcpIperfUplink,
+)
+from repro.apps.video import VideoSender, VideoReceiver
+
+__all__ = [
+    "PingClient",
+    "PingSample",
+    "UePingResponder",
+    "UdpIperfDownlink",
+    "UdpIperfUplink",
+    "TcpIperfDownlink",
+    "TcpIperfUplink",
+    "VideoSender",
+    "VideoReceiver",
+]

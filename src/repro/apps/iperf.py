@@ -1,0 +1,211 @@
+"""iperf-style throughput measurement flows.
+
+Four ready-made wirings binding a sender, a receiver, and the UE/server
+endpoints for each (transport, direction) combination used in Fig 10 and
+Table 2. Receivers bin goodput at 10 ms — the paper's reporting interval
+and the granularity of its sub-10 ms availability target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.corenet.server import AppServer
+from repro.sim.engine import Simulator
+from repro.sim.units import MS
+from repro.transport.packet import FlowDirection, Packet
+from repro.transport.tcp import TcpConfig, TcpReceiver, TcpSegment, TcpSender
+from repro.transport.udp import UdpSender, UdpSink
+from repro.ue.ue import UserEquipment
+
+
+class UdpIperfDownlink:
+    """Server -> UE constant-bitrate UDP flow with UE-side measurement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: AppServer,
+        ue: UserEquipment,
+        flow_id: str,
+        bearer_id: int,
+        bitrate_bps: float,
+        packet_bytes: int = 1200,
+        bin_ns: int = 10 * MS,
+    ) -> None:
+        self.sink = UdpSink(sim, flow_id, bin_ns=bin_ns)
+        self.sender = UdpSender(
+            sim,
+            flow_id,
+            ue.ue_id,
+            bearer_id,
+            FlowDirection.DOWNLINK,
+            transmit=server.send_to_ue,
+            bitrate_bps=bitrate_bps,
+            packet_bytes=packet_bytes,
+        )
+        previous_sink = ue.dl_sink
+
+        def dispatch(dl_bearer_id: int, sdu) -> None:
+            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
+                self.sink.on_packet(sdu)
+            elif previous_sink is not None:
+                previous_sink(dl_bearer_id, sdu)
+
+        ue.dl_sink = dispatch
+
+    def start(self) -> None:
+        self.sender.start()
+
+    def stop(self) -> None:
+        self.sender.stop()
+
+
+class UdpIperfUplink:
+    """UE -> server constant-bitrate UDP flow with server-side measurement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: AppServer,
+        ue: UserEquipment,
+        flow_id: str,
+        bearer_id: int,
+        bitrate_bps: float,
+        packet_bytes: int = 1200,
+        bin_ns: int = 10 * MS,
+    ) -> None:
+        self.sink = UdpSink(sim, flow_id, bin_ns=bin_ns)
+        self.sender = UdpSender(
+            sim,
+            flow_id,
+            ue.ue_id,
+            bearer_id,
+            FlowDirection.UPLINK,
+            transmit=lambda p: ue.send_uplink(bearer_id, p, p.size_bytes),
+            bitrate_bps=bitrate_bps,
+            packet_bytes=packet_bytes,
+        )
+        server.register_flow(flow_id, self.sink.on_packet)
+
+    def start(self) -> None:
+        self.sender.start()
+
+    def stop(self) -> None:
+        self.sender.stop()
+
+
+class TcpIperfDownlink:
+    """Server -> UE bulk TCP flow; goodput measured at the UE receiver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: AppServer,
+        ue: UserEquipment,
+        flow_id: str,
+        bearer_id: int,
+        config: Optional[TcpConfig] = None,
+        bin_ns: int = 10 * MS,
+    ) -> None:
+        self.sender = TcpSender(
+            sim,
+            flow_id,
+            ue.ue_id,
+            bearer_id,
+            FlowDirection.DOWNLINK,
+            transmit=server.send_to_ue,
+            config=config,
+        )
+        self.receiver = TcpReceiver(
+            sim,
+            flow_id,
+            ue.ue_id,
+            bearer_id,
+            ack_direction=FlowDirection.UPLINK,
+            transmit_ack=lambda p: ue.send_uplink(bearer_id, p, p.size_bytes),
+            bin_ns=bin_ns,
+        )
+        previous_sink = ue.dl_sink
+
+        def dispatch(dl_bearer_id: int, sdu) -> None:
+            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
+                if isinstance(sdu.payload, TcpSegment):
+                    self.receiver.on_segment(sdu.payload)
+            elif previous_sink is not None:
+                previous_sink(dl_bearer_id, sdu)
+
+        ue.dl_sink = dispatch
+        server.register_flow(flow_id, self._on_server_packet)
+
+    def _on_server_packet(self, packet: Packet) -> None:
+        if isinstance(packet.payload, TcpSegment):
+            self.sender.on_ack(packet.payload)
+
+    def start(self) -> None:
+        self.sender.start()
+
+    def stop(self) -> None:
+        self.sender.stop()
+
+
+class TcpIperfUplink:
+    """UE -> server bulk TCP flow; goodput measured at the server receiver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: AppServer,
+        ue: UserEquipment,
+        flow_id: str,
+        bearer_id: int,
+        config: Optional[TcpConfig] = None,
+        bin_ns: int = 10 * MS,
+    ) -> None:
+        self.sender = TcpSender(
+            sim,
+            flow_id,
+            ue.ue_id,
+            bearer_id,
+            FlowDirection.UPLINK,
+            transmit=lambda p: ue.send_uplink(bearer_id, p, p.size_bytes),
+            config=config,
+        )
+        self.receiver = TcpReceiver(
+            sim,
+            flow_id,
+            ue.ue_id,
+            bearer_id,
+            ack_direction=FlowDirection.DOWNLINK,
+            transmit_ack=self._send_ack_downlink,
+            bin_ns=bin_ns,
+        )
+        self._server = None
+        self._ue = ue
+        self._flow_id = flow_id
+        server.register_flow(flow_id, self._on_server_packet)
+        self._server = server
+        previous_sink = ue.dl_sink
+
+        def dispatch(dl_bearer_id: int, sdu) -> None:
+            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
+                if isinstance(sdu.payload, TcpSegment):
+                    self.sender.on_ack(sdu.payload)
+            elif previous_sink is not None:
+                previous_sink(dl_bearer_id, sdu)
+
+        ue.dl_sink = dispatch
+
+    def _send_ack_downlink(self, packet: Packet) -> None:
+        if self._server is not None:
+            self._server.send_to_ue(packet)
+
+    def _on_server_packet(self, packet: Packet) -> None:
+        if isinstance(packet.payload, TcpSegment):
+            self.receiver.on_segment(packet.payload)
+
+    def start(self) -> None:
+        self.sender.start()
+
+    def stop(self) -> None:
+        self.sender.stop()

@@ -1,0 +1,153 @@
+"""Video-conferencing application (Fig 8's QoE workload).
+
+A :class:`VideoSender` streams a compressed talking-head video toward a
+UE at a target bitrate (the paper uses 500 kb/s): fixed frame cadence
+with mildly varying frame sizes, each frame packetized into MTU-sized
+chunks. The :class:`VideoReceiver` reports the received bitrate per
+interval — the paper's QoE proxy — so an outage shows up as the bitrate
+pinning to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.corenet.server import AppServer
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.units import MS, SECOND
+from repro.transport.packet import FlowDirection, Packet
+from repro.ue.ue import UserEquipment
+
+
+@dataclass(frozen=True)
+class _VideoChunk:
+    frame_index: int
+    chunk_index: int
+
+
+class VideoSender(Process):
+    """Constant-target-bitrate video source on the application server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: AppServer,
+        ue_id: int,
+        flow_id: str,
+        bearer_id: int,
+        bitrate_bps: float = 500_000.0,
+        fps: float = 30.0,
+        mtu_bytes: int = 1200,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name or f"video-tx:{flow_id}")
+        self.server = server
+        self.ue_id = ue_id
+        self.flow_id = flow_id
+        self.bearer_id = bearer_id
+        self.bitrate_bps = bitrate_bps
+        self.fps = fps
+        self.mtu_bytes = mtu_bytes
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._frame_index = 0
+        self._seq = 0
+        self._running = False
+        self.frames_sent = 0
+
+    @property
+    def frame_interval_ns(self) -> int:
+        return round(SECOND / self.fps)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.call_after(0, self._send_frame)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _send_frame(self) -> None:
+        if not self._running:
+            return
+        nominal = self.bitrate_bps / 8.0 / self.fps
+        # Encoder output varies frame to frame (talking-head content).
+        frame_bytes = max(200, int(self.rng.normal(nominal, nominal * 0.15)))
+        offset = 0
+        chunk_index = 0
+        while offset < frame_bytes:
+            chunk = min(self.mtu_bytes, frame_bytes - offset)
+            packet = Packet(
+                flow_id=self.flow_id,
+                ue_id=self.ue_id,
+                bearer_id=self.bearer_id,
+                direction=FlowDirection.DOWNLINK,
+                payload=_VideoChunk(self._frame_index, chunk_index),
+                size_bytes=chunk,
+                created_ns=self.now,
+                seq=self._seq,
+            )
+            self._seq += 1
+            chunk_index += 1
+            offset += chunk
+            self.server.send_to_ue(packet)
+        self._frame_index += 1
+        self.frames_sent += 1
+        self.call_after(self.frame_interval_ns, self._send_frame)
+
+
+class VideoReceiver:
+    """UE-side bitrate meter (the paper's QoE proxy)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ue: UserEquipment,
+        flow_id: str,
+        interval_ns: int = 500 * MS,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.interval_ns = interval_ns
+        #: bytes received per interval index.
+        self.bins: Dict[int, int] = {}
+        self.bytes_received = 0
+        self.packets_received = 0
+        previous_sink = ue.dl_sink
+
+        def dispatch(bearer_id: int, sdu) -> None:
+            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
+                self._on_packet(sdu)
+            elif previous_sink is not None:
+                previous_sink(bearer_id, sdu)
+
+        ue.dl_sink = dispatch
+
+    def _on_packet(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        index = self.sim.now // self.interval_ns
+        self.bins[index] = self.bins.get(index, 0) + packet.size_bytes
+
+    def bitrate_series_kbps(self, start_ns: int, end_ns: int) -> List[Tuple[float, float]]:
+        """(interval start s, received kb/s) samples over the window."""
+        series = []
+        first = start_ns // self.interval_ns
+        last = (end_ns - 1) // self.interval_ns
+        for index in range(first, last + 1):
+            bytes_in_bin = self.bins.get(index, 0)
+            kbps = bytes_in_bin * 8 / (self.interval_ns / SECOND) / 1e3
+            series.append((index * self.interval_ns / SECOND, kbps))
+        return series
+
+    def outage_seconds(self, start_ns: int, end_ns: int) -> float:
+        """Total time at zero bitrate within the window."""
+        zero_bins = sum(
+            1 for _, kbps in self.bitrate_series_kbps(start_ns, end_ns) if kbps == 0.0
+        )
+        return zero_bins * self.interval_ns / SECOND

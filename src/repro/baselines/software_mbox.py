@@ -1,0 +1,89 @@
+"""Software (DPDK) fronthaul middlebox — the design §5 argues against.
+
+A server-based middlebox can implement the same steering/filtering logic
+as the in-switch pipeline, but it (1) adds fronthaul latency — the
+paper's DPDK prototype added ~10 µs at the 99.999th percentile, eating
+~10 % of the sub-100 µs one-way fronthaul budget and thus ~10 % of the
+datacenter's serviceable radius; (2) doubles per-server NIC bandwidth by
+adding a hop to every fronthaul packet; and (3) burns dedicated CPU
+cores (~10 % of the PHY's core count).
+
+This model quantifies those three costs so the ablation bench can put
+numbers beside the in-switch design's ~0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.units import US
+
+#: Propagation speed in fiber, ~5 µs per km one way.
+FIBER_NS_PER_KM = 5_000.0
+
+
+@dataclass
+class SoftwareMboxConfig:
+    """Latency/cost model of the DPDK middlebox."""
+
+    #: Median added one-way latency per fronthaul packet.
+    median_latency_ns: int = 4_500
+    #: Lognormal sigma of the added latency (tail from bursty batching).
+    sigma: float = 0.18
+    #: Rare scheduling hiccup: probability and added delay (beyond the
+    #: p99.999 the paper quotes, but present).
+    hiccup_probability: float = 3e-6
+    hiccup_extra_ns: int = 25_000
+    #: One-way fronthaul delay budget (O-RAN split 7.2x).
+    fronthaul_budget_ns: int = 100 * US
+    #: Dedicated cores per PHY server the software middlebox needs.
+    cores_per_server: float = 1.6
+    #: PHY cores per server (FlexRAN-class deployment).
+    phy_cores_per_server: float = 16.0
+
+
+class SoftwareMiddleboxModel:
+    """Samples the software middlebox's added latency and derives costs."""
+
+    def __init__(
+        self,
+        config: Optional[SoftwareMboxConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or SoftwareMboxConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample_added_latency_ns(self, count: int) -> np.ndarray:
+        """Draw per-packet added one-way latencies."""
+        cfg = self.config
+        base = self.rng.lognormal(np.log(cfg.median_latency_ns), cfg.sigma, size=count)
+        hiccups = self.rng.random(count) < cfg.hiccup_probability
+        base[hiccups] += self.rng.uniform(0.3, 1.0, hiccups.sum()) * cfg.hiccup_extra_ns
+        return base
+
+    def added_latency_percentile_ns(self, percentile: float, count: int = 400_000) -> float:
+        """Added latency at a percentile (the paper quotes p99.999 ≈ 10 µs)."""
+        samples = self.sample_added_latency_ns(count)
+        return float(np.percentile(samples, percentile))
+
+    def radius_km(self, added_latency_ns: float = 0.0) -> float:
+        """Max RU-to-datacenter distance under the fronthaul budget."""
+        usable = self.config.fronthaul_budget_ns - added_latency_ns
+        return max(usable, 0.0) / FIBER_NS_PER_KM
+
+    def radius_reduction_fraction(self, percentile: float = 99.999) -> float:
+        """Coverage-radius loss caused by the middlebox's tail latency."""
+        baseline = self.radius_km(0.0)
+        with_mbox = self.radius_km(self.added_latency_percentile_ns(percentile))
+        return (baseline - with_mbox) / baseline
+
+    def cpu_overhead_fraction(self) -> float:
+        """Middlebox cores as a fraction of PHY cores (§5: ~10 %)."""
+        return self.config.cores_per_server / self.config.phy_cores_per_server
+
+    def nic_bandwidth_multiplier(self) -> float:
+        """Per-server NIC bandwidth factor (every packet takes 2 hops)."""
+        return 2.0

@@ -1,0 +1,28 @@
+"""Cell deployment builder.
+
+Wires a full simulated vRAN cell — RU, edge switch with Slingshot's
+fronthaul middlebox, PHY servers with PHY-side Orions, the L2 server with
+its L2-side Orion, the core network, the application server, and UEs —
+mirroring the paper's three-server testbed (Table 1).
+
+:func:`build_slingshot_cell` produces the protected deployment;
+:func:`build_baseline_cell` produces the no-Slingshot baseline with a hot
+backup vRAN stack (used by §8.1's comparison).
+"""
+
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import (
+    SlingshotCell,
+    BaselineCell,
+    build_slingshot_cell,
+    build_baseline_cell,
+)
+
+__all__ = [
+    "CellConfig",
+    "UeProfile",
+    "SlingshotCell",
+    "BaselineCell",
+    "build_slingshot_cell",
+    "build_baseline_cell",
+]

@@ -1,0 +1,486 @@
+"""Full-cell deployment wiring.
+
+Reproduces the paper's testbed topology (Table 1): one RU on a fiber
+fronthaul into a Tofino-class switch; two (or more) PHY servers and one
+L2 server on 100 GbE; a core network and an application server beyond.
+
+Two builders:
+
+* :func:`build_slingshot_cell` — the protected deployment: Slingshot's
+  fronthaul middlebox on the switch, PHY-side Orions on the PHY servers,
+  an L2-side Orion on the L2 server, a hot-standby secondary fed null
+  FAPI, and the in-switch failure detector armed on the primary.
+* :func:`build_baseline_cell` — today's vRAN: a full hot-backup vRAN
+  stack (its own L2 identity) on the second server; on primary failure
+  the fronthaul is re-routed to the backup with the same in-switch
+  detector (the most charitable baseline, as in §8.1), but UEs must
+  re-establish with the new stack (~6.2 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cell.config import CellConfig, UeProfile, default_bearers
+from repro.core.commands import MigrateOnSlot, SLINGSHOT_CMD_BYTES
+from repro.core.fh_middlebox import FronthaulMiddlebox, MiddleboxConfig
+from repro.core.migration import ClusterConfig, MigrationController, PhyServer
+from repro.core.orion import L2SideOrion, OrionConfig, PhySideOrion
+from repro.corenet.core import CoreConfig, CoreNetwork
+from repro.corenet.server import AppServer
+from repro.fapi.channels import ShmChannel
+from repro.fronthaul.air import AirInterface
+from repro.fronthaul.ru import RadioUnit
+from repro.l2.mac import L2Process, MacConfig
+from repro.net.addresses import MacAddress, MacAllocator
+from repro.net.link import Link
+from repro.net.packet import EtherType, EthernetFrame
+from repro.net.switch import Switch
+from repro.phy.channel import UeChannelModel
+from repro.phy.numerology import SlotClock
+from repro.phy.process import PhyConfig, PhyProcess
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.ue.ue import UeConfig, UserEquipment
+
+
+class ServerNic:
+    """One server's NIC: demultiplexes ingress frames to local processes.
+
+    Fronthaul (eCPRI) frames go to the PHY process; everything else
+    (Orion datagrams, Slingshot notifications) goes to the Orion process.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.phy: Optional[PhyProcess] = None
+        self.orion = None  # PhySideOrion or L2SideOrion
+
+    def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
+        if frame.ethertype == EtherType.ECPRI:
+            if self.phy is not None:
+                self.phy.receive_frame(frame, ingress)
+        elif self.orion is not None:
+            self.orion.receive_frame(frame, ingress)
+
+
+@dataclass
+class PhyServerNode:
+    """A PHY server: PHY process + PHY-side Orion + NIC."""
+
+    phy_id: int
+    phy: PhyProcess
+    orion: PhySideOrion
+    nic: ServerNic
+    phy_mac: MacAddress
+    orion_mac: MacAddress
+    port: int
+
+
+@dataclass
+class _BaseCell:
+    """Shared state of both deployment flavors."""
+
+    config: CellConfig
+    sim: Simulator
+    trace: TraceRecorder
+    rng: RngRegistry
+    slot_clock: SlotClock
+    switch: Switch
+    middlebox: FronthaulMiddlebox
+    air: AirInterface
+    ru: RadioUnit
+    phy_servers: List[PhyServerNode]
+    core: CoreNetwork
+    server: AppServer
+    ues: Dict[int, UserEquipment]
+
+    @property
+    def slot_ns(self) -> int:
+        return self.slot_clock.slot_duration_ns
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def run_until(self, time_ns: int) -> None:
+        self.sim.run_until(time_ns)
+
+    def ue(self, ue_id: int) -> UserEquipment:
+        return self.ues[ue_id]
+
+    def kill_phy(self, phy_id: int) -> None:
+        """SIGKILL a PHY process (the paper's §8.2 failure injection)."""
+        self.phy_servers[phy_id].phy.crash(reason="SIGKILL")
+
+    def kill_phy_at(self, phy_id: int, time_ns: int) -> None:
+        self.sim.at(
+            time_ns, self.kill_phy, phy_id, label=f"kill-phy{phy_id}"
+        )
+
+
+@dataclass
+class SlingshotCell(_BaseCell):
+    """A cell protected by Slingshot."""
+
+    l2: L2Process = None  # type: ignore[assignment]
+    l2_orion: L2SideOrion = None  # type: ignore[assignment]
+    controller: MigrationController = None  # type: ignore[assignment]
+
+    def planned_migration(self, cell_id: int = 0) -> int:
+        return self.controller.planned_migration(cell_id)
+
+    def live_upgrade(self, decoder_iterations: int, cell_id: int = 0) -> int:
+        return self.controller.live_upgrade(cell_id, decoder_iterations)
+
+
+@dataclass
+class BaselineCell(_BaseCell):
+    """A cell without Slingshot: full hot-backup vRAN stack."""
+
+    primary_l2: L2Process = None  # type: ignore[assignment]
+    backup_l2: L2Process = None  # type: ignore[assignment]
+    _reroute_armed: bool = True
+
+    def _on_failure(self, phy_id: int, detected_at: int) -> None:
+        """Detector callback: re-route fronthaul to the backup vRAN."""
+        if not self._reroute_armed or phy_id != 0:
+            return
+        self._reroute_armed = False
+        boundary = self.slot_clock.slot_at(self.sim.now) + 1
+        frame = EthernetFrame(
+            src=MacAddress(0x02_00_00_00_0F_FF),
+            dst=MacAddress(0x02_5A_5A_00_00_02),
+            ethertype=EtherType.SLINGSHOT,
+            payload=MigrateOnSlot(ru_id=self.ru.ru_id, dest_phy_id=1, slot=boundary),
+            wire_bytes=SLINGSHOT_CMD_BYTES,
+        )
+        self.switch.inject(frame)
+        # The backup vRAN now owns the cell: future attach procedures land
+        # on its L2.
+        self.core.bind_l2(self.backup_l2)
+        self.trace.record(self.sim.now, "baseline.rerouted", boundary=boundary)
+
+
+def _wire_phy_server(
+    cell_cfg: CellConfig,
+    sim: Simulator,
+    trace: TraceRecorder,
+    rng: RngRegistry,
+    switch: Switch,
+    middlebox: FronthaulMiddlebox,
+    slot_clock: SlotClock,
+    macs: MacAllocator,
+    phy_id: int,
+    decoder_iterations: int,
+    vran_instance_id: int,
+) -> PhyServerNode:
+    """Stand up one PHY server: PHY + PHY-side Orion + NIC + switch port."""
+    phy_mac = macs.allocate()
+    orion_mac = macs.allocate()
+    nic = ServerNic(name=f"phy-server{phy_id}")
+    port = switch.attach(
+        nic,
+        bandwidth_bps=100e9,
+        latency_ns=cell_cfg.edge_link_latency_ns,
+        name=f"phy{phy_id}",
+    )
+    phy = PhyProcess(
+        sim=sim,
+        phy_id=phy_id,
+        mac=phy_mac,
+        slot_clock=slot_clock,
+        tdd=cell_cfg.tdd,
+        rng=rng.stream(f"phy{phy_id}"),
+        config=PhyConfig(
+            decoder_iterations=decoder_iterations,
+            vran_instance_id=vran_instance_id,
+            massive_mimo=cell_cfg.massive_mimo,
+        ),
+        uplink=port.ingress_link,  # type: ignore[attr-defined]
+        trace=trace,
+        name=f"phy{phy_id}",
+    )
+    orion = PhySideOrion(
+        sim=sim, phy_id=phy_id, mac=orion_mac, slot_clock=slot_clock,
+        trace=trace, name=f"orion-phy{phy_id}",
+    )
+    orion.uplink = port.ingress_link  # type: ignore[attr-defined]
+    # SHM pair between the local Orion and PHY.
+    shm_up = ShmChannel(sim, phy, name=f"shm-orion{phy_id}->phy")
+    shm_down = ShmChannel(sim, orion, name=f"shm-phy{phy_id}->orion")
+    orion.shm_to_phy = shm_up
+    phy.fapi_tx = shm_down
+    nic.phy = phy
+    nic.orion = orion
+    middlebox.register_phy(phy_id, phy_mac, port.number)
+    middlebox.register_l2_host(orion_mac, port.number)
+    return PhyServerNode(
+        phy_id=phy_id,
+        phy=phy,
+        orion=orion,
+        nic=nic,
+        phy_mac=phy_mac,
+        orion_mac=orion_mac,
+        port=port.number,
+    )
+
+
+def _build_common(config: CellConfig):
+    """Create the shared substrate: sim, switch+middlebox, RU, air, UEs."""
+    sim = Simulator()
+    trace = TraceRecorder()
+    rng = RngRegistry(seed=config.seed)
+    slot_clock = SlotClock(config.numerology)
+    macs = MacAllocator()
+    switch = Switch(sim, name="edge-switch")
+    middlebox = FronthaulMiddlebox(
+        sim,
+        config=MiddleboxConfig(),
+        trace=trace,
+        name="fh-mbox",
+    )
+    middlebox.install_on(switch)
+    air = AirInterface()
+    ru_mac = macs.allocate()
+    ru = RadioUnit(
+        sim=sim,
+        ru_id=0,
+        mac=ru_mac,
+        virtual_phy_mac=middlebox.virtual_phy_mac,
+        slot_clock=slot_clock,
+        tdd=config.tdd,
+        air=air,
+        trace=trace,
+        name="ru0",
+    )
+    ru_port = switch.attach(
+        ru,
+        bandwidth_bps=25e9,
+        latency_ns=config.fronthaul_latency_ns,
+        name="ru0",
+    )
+    ru.uplink = ru_port.ingress_link  # type: ignore[attr-defined]
+    middlebox.register_ru(0, ru_mac, ru_port.number, initial_phy=0)
+    return sim, trace, rng, slot_clock, macs, switch, middlebox, air, ru
+
+
+def _build_ues(
+    config: CellConfig,
+    sim: Simulator,
+    trace: TraceRecorder,
+    rng: RngRegistry,
+    slot_clock: SlotClock,
+    air: AirInterface,
+    core: CoreNetwork,
+) -> Dict[int, UserEquipment]:
+    ues: Dict[int, UserEquipment] = {}
+    for profile in config.ue_profiles:
+        channel = UeChannelModel(
+            rng=rng.stream(f"ue{profile.ue_id}.channel"),
+            mean_snr_db=profile.mean_snr_db,
+            shadow_sigma_db=profile.shadow_sigma_db,
+            fade_probability=profile.fade_probability,
+        )
+        ue = UserEquipment(
+            sim=sim,
+            ue_id=profile.ue_id,
+            slot_clock=slot_clock,
+            tdd=config.tdd,
+            air=air,
+            channel=channel,
+            rng=rng.stream(f"ue{profile.ue_id}.modem"),
+            bearers=default_bearers(),
+            config=UeConfig(rlf_timeout_ns=config.rlf_timeout_ns),
+            trace=trace,
+            name=profile.name,
+        )
+        core.admit_ue(ue, default_bearers(), snr_hint_db=profile.mean_snr_db)
+        ues[profile.ue_id] = ue
+    return ues
+
+
+def build_slingshot_cell(config: Optional[CellConfig] = None) -> SlingshotCell:
+    """Build, wire, and start a Slingshot-protected cell."""
+    config = config or CellConfig()
+    (sim, trace, rng, slot_clock, macs, switch, middlebox, air, ru) = _build_common(
+        config
+    )
+    # PHY servers. All belong to vRAN instance 1 (one L2).
+    phy_servers: List[PhyServerNode] = []
+    for phy_id in range(config.num_phy_servers):
+        iterations = config.phy_decoder_iterations
+        if phy_id == 1 and config.secondary_decoder_iterations is not None:
+            iterations = config.secondary_decoder_iterations
+        phy_servers.append(
+            _wire_phy_server(
+                config, sim, trace, rng, switch, middlebox, slot_clock, macs,
+                phy_id, iterations, vran_instance_id=1,
+            )
+        )
+    # L2 server: L2 process + L2-side Orion.
+    l2_orion_mac = macs.allocate()
+    l2_nic = ServerNic(name="l2-server")
+    l2_port = switch.attach(
+        l2_nic,
+        bandwidth_bps=100e9,
+        latency_ns=config.edge_link_latency_ns,
+        name="l2",
+    )
+    l2 = L2Process(
+        sim=sim,
+        slot_clock=slot_clock,
+        tdd=config.tdd,
+        numerology=config.numerology,
+        cell_id=0,
+        ru_id=0,
+        config=MacConfig(total_prbs=config.numerology.num_prbs),
+        trace=trace,
+        name="l2",
+    )
+    l2_orion = L2SideOrion(
+        sim=sim, mac=l2_orion_mac, slot_clock=slot_clock, trace=trace
+    )
+    l2_orion.uplink = l2_port.ingress_link  # type: ignore[attr-defined]
+    l2_nic.orion = l2_orion
+    # SHM pair between L2 and its Orion.
+    shm_to_orion = ShmChannel(sim, l2_orion, name="shm-l2->orion")
+    shm_to_l2 = ShmChannel(sim, l2, name="shm-orion->l2")
+    l2.set_fapi_channel(shm_to_orion)
+    l2_orion.shm_to_l2 = shm_to_l2
+    middlebox.register_l2_host(l2_orion_mac, l2_port.number)
+    middlebox.set_notification_target(l2_orion_mac, l2_port.number)
+    # Cluster config + assignment.
+    cluster = ClusterConfig()
+    for node in phy_servers:
+        node.orion.l2_orion_mac = l2_orion_mac
+        l2_orion.register_phy_server(node.phy_id, node.orion_mac)
+        cluster.add_server(
+            PhyServer(phy_id=node.phy_id, phy=node.phy, orion_mac=node.orion_mac)
+        )
+    secondary = 1 if config.num_phy_servers > 1 else None
+    l2_orion.assign_cell(cell_id=0, ru_id=0, primary_phy=0, secondary_phy=secondary)
+    controller = MigrationController(l2_orion, cluster, trace=trace)
+    # Arm failure detection on the primary once it is emitting heartbeats
+    # (arming before bring-up would trip on the not-yet-started PHY).
+    sim.schedule(
+        5 * slot_clock.slot_duration_ns,
+        middlebox.detector.set_monitor,
+        0,
+        True,
+        label="arm-detector",
+    )
+    # Core + app server + UEs.
+    core = CoreNetwork(
+        sim,
+        config=CoreConfig(backhaul_latency_ns=config.backhaul_latency_ns),
+        rng=rng.stream("core"),
+        trace=trace,
+    )
+    core.bind_l2(l2)
+    server = AppServer(sim, core, latency_to_core_ns=config.server_latency_ns)
+    ues = _build_ues(config, sim, trace, rng, slot_clock, air, core)
+    # Bring-up.
+    ru.start()
+    l2.start()
+    cell = SlingshotCell(
+        config=config,
+        sim=sim,
+        trace=trace,
+        rng=rng,
+        slot_clock=slot_clock,
+        switch=switch,
+        middlebox=middlebox,
+        air=air,
+        ru=ru,
+        phy_servers=phy_servers,
+        core=core,
+        server=server,
+        ues=ues,
+        l2=l2,
+        l2_orion=l2_orion,
+        controller=controller,
+    )
+    return cell
+
+
+def build_baseline_cell(config: Optional[CellConfig] = None) -> BaselineCell:
+    """Build the no-Slingshot baseline: primary vRAN + hot-backup vRAN.
+
+    Each vRAN stack (PHY + L2) runs on its own pair of processes with its
+    own identity. The in-switch detector is still used to re-route the
+    fronthaul quickly (the paper grants the baseline this much); the UEs
+    nevertheless need a full re-establishment with the backup stack.
+    """
+    config = config or CellConfig()
+    (sim, trace, rng, slot_clock, macs, switch, middlebox, air, ru) = _build_common(
+        config
+    )
+    phy_servers: List[PhyServerNode] = []
+    l2s: List[L2Process] = []
+    # Two independent vRAN stacks: instance ids 1 and 2.
+    for phy_id, instance in ((0, 1), (1, 2)):
+        node = _wire_phy_server(
+            config, sim, trace, rng, switch, middlebox, slot_clock, macs,
+            phy_id, config.phy_decoder_iterations, vran_instance_id=instance,
+        )
+        phy_servers.append(node)
+        l2 = L2Process(
+            sim=sim,
+            slot_clock=slot_clock,
+            tdd=config.tdd,
+            numerology=config.numerology,
+            cell_id=0,
+            ru_id=0,
+            config=MacConfig(total_prbs=config.numerology.num_prbs),
+            trace=trace,
+            name=f"l2-vran{instance}",
+        )
+        # In the baseline, each L2 talks straight to its PHY over SHM
+        # (tightly-coupled stack, no Orion indirection needed).
+        shm_to_phy = ShmChannel(sim, node.phy, name=f"shm-l2{instance}->phy")
+        shm_to_l2 = ShmChannel(sim, l2, name=f"shm-phy{instance}->l2")
+        l2.set_fapi_channel(shm_to_phy)
+        node.phy.fapi_tx = shm_to_l2
+        l2s.append(l2)
+    core = CoreNetwork(
+        sim,
+        config=CoreConfig(backhaul_latency_ns=config.backhaul_latency_ns),
+        rng=rng.stream("core"),
+        trace=trace,
+    )
+    core.bind_l2(l2s[0])
+    server = AppServer(sim, core, latency_to_core_ns=config.server_latency_ns)
+    ues = _build_ues(config, sim, trace, rng, slot_clock, air, core)
+    ru.start()
+    for l2 in l2s:
+        l2.start()
+    cell = BaselineCell(
+        config=config,
+        sim=sim,
+        trace=trace,
+        rng=rng,
+        slot_clock=slot_clock,
+        switch=switch,
+        middlebox=middlebox,
+        air=air,
+        ru=ru,
+        phy_servers=phy_servers,
+        core=core,
+        server=server,
+        ues=ues,
+        primary_l2=l2s[0],
+        backup_l2=l2s[1],
+    )
+    # Arm detection on the primary (after bring-up) and route
+    # notifications to the baseline's re-route hook.
+    sim.schedule(
+        5 * slot_clock.slot_duration_ns,
+        middlebox.detector.set_monitor,
+        0,
+        True,
+        label="arm-detector",
+    )
+    middlebox.detector.notify = cell._on_failure
+    return cell

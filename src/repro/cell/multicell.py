@@ -1,0 +1,217 @@
+"""Multi-cell deployments: several RUs, shared PHY servers.
+
+The paper (§2.2, §8): "Each process (e.g., PHY or L2) supports handling
+multiple RUs" and "in real deployments, Slingshot will co-locate primary
+and secondary PHYs for different RUs within PHY processes, i.e., our
+design does not require dedicated servers to run just secondary PHYs."
+
+:func:`build_dual_cell_deployment` builds exactly that economical
+placement: two RUs, two PHY servers, with crossed roles —
+
+* cell 0: primary on server 0, hot standby on server 1;
+* cell 1: primary on server 1, hot standby on server 0.
+
+Each server therefore runs one *real* workload and one null-FAPI standby
+concurrently inside one PHY process. Killing either server fails over
+only the cell it was primary for; the other cell keeps its primary and
+merely loses its standby.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cell.config import CellConfig, UeProfile, default_bearers
+from repro.cell.deployment import (
+    PhyServerNode,
+    ServerNic,
+    _wire_phy_server,
+)
+from repro.core.fh_middlebox import FronthaulMiddlebox, MiddleboxConfig
+from repro.core.migration import ClusterConfig, MigrationController, PhyServer
+from repro.core.orion import L2SideOrion
+from repro.corenet.core import CoreConfig, CoreNetwork
+from repro.corenet.server import AppServer
+from repro.fapi.channels import ShmChannel
+from repro.fronthaul.air import AirInterface
+from repro.fronthaul.ru import RadioUnit
+from repro.l2.mac import L2Process, MacConfig
+from repro.net.addresses import MacAllocator
+from repro.net.switch import Switch
+from repro.phy.channel import UeChannelModel
+from repro.phy.numerology import SlotClock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.ue.ue import UeConfig, UserEquipment
+
+
+@dataclass
+class CellSite:
+    """One RU's slice of the deployment."""
+
+    cell_id: int
+    ru: RadioUnit
+    air: AirInterface
+    l2: L2Process
+    ues: Dict[int, UserEquipment]
+
+
+@dataclass
+class DualCellDeployment:
+    """Two cells sharing two PHY servers with crossed primary/standby."""
+
+    config: CellConfig
+    sim: Simulator
+    trace: TraceRecorder
+    rng: RngRegistry
+    slot_clock: SlotClock
+    switch: Switch
+    middlebox: FronthaulMiddlebox
+    phy_servers: List[PhyServerNode]
+    l2_orion: L2SideOrion
+    core: CoreNetwork
+    server: AppServer
+    cells: List[CellSite]
+    controller: MigrationController
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def kill_phy_at(self, phy_id: int, time_ns: int) -> None:
+        self.sim.at(
+            time_ns,
+            self.phy_servers[phy_id].phy.crash,
+            "SIGKILL",
+            label=f"kill-phy{phy_id}",
+        )
+
+    def all_ues(self) -> List[UserEquipment]:
+        return [ue for site in self.cells for ue in site.ues.values()]
+
+
+def build_dual_cell_deployment(
+    config: Optional[CellConfig] = None,
+    ues_per_cell: int = 1,
+) -> DualCellDeployment:
+    """Build the two-cell, two-server crossed-roles deployment."""
+    config = config or CellConfig()
+    sim = Simulator()
+    trace = TraceRecorder()
+    rng = RngRegistry(seed=config.seed)
+    slot_clock = SlotClock(config.numerology)
+    macs = MacAllocator()
+    switch = Switch(sim, name="edge-switch")
+    middlebox = FronthaulMiddlebox(sim, config=MiddleboxConfig(), trace=trace)
+    middlebox.install_on(switch)
+    # --- Two PHY servers (each will host one primary + one standby) ----
+    phy_servers = [
+        _wire_phy_server(
+            config, sim, trace, rng, switch, middlebox, slot_clock, macs,
+            phy_id, config.phy_decoder_iterations, vran_instance_id=1,
+        )
+        for phy_id in range(2)
+    ]
+    # --- L2 server: one L2 process per cell + a shared L2-side Orion ----
+    l2_orion_mac = macs.allocate()
+    l2_nic = ServerNic(name="l2-server")
+    l2_port = switch.attach(
+        l2_nic, latency_ns=config.edge_link_latency_ns, name="l2"
+    )
+    l2_orion = L2SideOrion(sim, mac=l2_orion_mac, slot_clock=slot_clock, trace=trace)
+    l2_orion.uplink = l2_port.ingress_link  # type: ignore[attr-defined]
+    l2_nic.orion = l2_orion
+    middlebox.register_l2_host(l2_orion_mac, l2_port.number)
+    middlebox.set_notification_target(l2_orion_mac, l2_port.number)
+    cluster = ClusterConfig()
+    for node in phy_servers:
+        node.orion.l2_orion_mac = l2_orion_mac
+        l2_orion.register_phy_server(node.phy_id, node.orion_mac)
+        cluster.add_server(
+            PhyServer(phy_id=node.phy_id, phy=node.phy, orion_mac=node.orion_mac)
+        )
+    controller = MigrationController(l2_orion, cluster, trace=trace)
+    # --- Core / app server ----------------------------------------------
+    core = CoreNetwork(
+        sim,
+        config=CoreConfig(backhaul_latency_ns=config.backhaul_latency_ns),
+        rng=rng.stream("core"),
+        trace=trace,
+    )
+    server = AppServer(sim, core, latency_to_core_ns=config.server_latency_ns)
+    # --- Per-cell sites: RU, L2, UEs, crossed assignment -----------------
+    sites: List[CellSite] = []
+    next_ue_id = 1
+    for cell_id in range(2):
+        air = AirInterface()
+        ru_mac = macs.allocate()
+        ru = RadioUnit(
+            sim=sim, ru_id=cell_id, mac=ru_mac,
+            virtual_phy_mac=middlebox.virtual_phy_mac,
+            slot_clock=slot_clock, tdd=config.tdd, air=air,
+            trace=trace, name=f"ru{cell_id}",
+        )
+        ru_port = switch.attach(
+            ru, bandwidth_bps=25e9,
+            latency_ns=config.fronthaul_latency_ns, name=f"ru{cell_id}",
+        )
+        ru.uplink = ru_port.ingress_link  # type: ignore[attr-defined]
+        primary = cell_id          # Crossed roles: 0->(0,1), 1->(1,0).
+        secondary = 1 - cell_id
+        middlebox.register_ru(cell_id, ru_mac, ru_port.number, initial_phy=primary)
+        l2 = L2Process(
+            sim=sim, slot_clock=slot_clock, tdd=config.tdd,
+            numerology=config.numerology, cell_id=cell_id, ru_id=cell_id,
+            config=MacConfig(total_prbs=config.numerology.num_prbs),
+            trace=trace, name=f"l2-cell{cell_id}",
+        )
+        shm_to_orion = ShmChannel(sim, l2_orion, name=f"shm-l2{cell_id}->orion")
+        shm_to_l2 = ShmChannel(sim, l2, name=f"shm-orion->l2{cell_id}")
+        l2.set_fapi_channel(shm_to_orion)
+        l2_orion.shm_to_l2_by_cell[cell_id] = shm_to_l2
+        l2_orion.assign_cell(
+            cell_id=cell_id, ru_id=cell_id,
+            primary_phy=primary, secondary_phy=secondary,
+        )
+        if cell_id == 0:
+            # Core's primary binding; per-UE routing handles the rest.
+            core.bind_l2(l2)
+        else:
+            l2.uplink_sink = core._on_uplink_sdu
+        ues: Dict[int, UserEquipment] = {}
+        for index in range(ues_per_cell):
+            profile = config.ue_profiles[index % len(config.ue_profiles)]
+            ue_id = next_ue_id
+            next_ue_id += 1
+            channel = UeChannelModel(
+                rng=rng.stream(f"ue{ue_id}.channel"),
+                mean_snr_db=profile.mean_snr_db,
+                shadow_sigma_db=profile.shadow_sigma_db,
+                fade_probability=profile.fade_probability,
+            )
+            ue = UserEquipment(
+                sim=sim, ue_id=ue_id, slot_clock=slot_clock, tdd=config.tdd,
+                air=air, channel=channel, rng=rng.stream(f"ue{ue_id}.modem"),
+                bearers=default_bearers(),
+                config=UeConfig(rlf_timeout_ns=config.rlf_timeout_ns),
+                trace=trace, name=f"cell{cell_id}-ue{ue_id}",
+            )
+            core.admit_ue(ue, default_bearers(), snr_hint_db=profile.mean_snr_db, l2=l2)
+            ues[ue_id] = ue
+        ru.start()
+        l2.start()
+        sites.append(CellSite(cell_id=cell_id, ru=ru, air=air, l2=l2, ues=ues))
+    # Arm monitoring of both servers once heartbeats flow.
+    for phy_id in range(2):
+        sim.schedule(
+            5 * slot_clock.slot_duration_ns,
+            middlebox.detector.set_monitor, phy_id, True,
+            label="arm-detector",
+        )
+    return DualCellDeployment(
+        config=config, sim=sim, trace=trace, rng=rng, slot_clock=slot_clock,
+        switch=switch, middlebox=middlebox, phy_servers=phy_servers,
+        l2_orion=l2_orion, core=core, server=server, cells=sites,
+        controller=controller,
+    )

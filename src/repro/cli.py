@@ -1,0 +1,186 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3
+    python -m repro fig8 --duration 12 --failure-at 2.6
+    python -m repro table2 --duration 60 --rates 1 10 20 50
+    python -m repro all --quick
+
+Each command runs the corresponding harness from
+:mod:`repro.experiments` and prints its paper-style summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import (
+    fig3_vm_migration,
+    fig8_video,
+    fig9_ping,
+    fig10_throughput,
+    fig11_upgrade,
+    fig12_orion_latency,
+    sec52_detector,
+    sec82_dropped_ttis,
+    sec85_overhead,
+    sec86_switch,
+    table2_stress,
+)
+
+
+def _run_fig3(args) -> str:
+    result = fig3_vm_migration.run(runs_per_transport=args.runs)
+    return fig3_vm_migration.summarize(result)
+
+
+def _run_fig8(args) -> str:
+    result = fig8_video.run(duration_s=args.duration, failure_at_s=args.failure_at)
+    return fig8_video.summarize(result)
+
+
+def _run_fig9(args) -> str:
+    result = fig9_ping.run(duration_s=args.duration, failure_at_s=args.failure_at)
+    return fig9_ping.summarize(result)
+
+
+def _run_fig10(args) -> str:
+    result = fig10_throughput.run(
+        duration_s=args.duration, event_at_s=args.failure_at
+    )
+    return fig10_throughput.summarize(result)
+
+
+def _run_fig11(args) -> str:
+    result = fig11_upgrade.run(
+        duration_s=args.duration, upgrade_at_s=args.duration / 2
+    )
+    return fig11_upgrade.summarize(result)
+
+
+def _run_fig12(args) -> str:
+    result = fig12_orion_latency.run(duration_s=min(args.duration, 2.0))
+    return fig12_orion_latency.summarize(result)
+
+
+def _run_table2(args) -> str:
+    result = table2_stress.run(rates_per_s=args.rates, duration_s=args.duration)
+    return table2_stress.summarize(result)
+
+
+def _run_sec52(args) -> str:
+    result = sec52_detector.run(trials=args.runs)
+    return sec52_detector.summarize(result)
+
+
+def _run_sec82(args) -> str:
+    result = sec82_dropped_ttis.run(trials=args.runs)
+    return sec82_dropped_ttis.summarize(result)
+
+
+def _run_sec85(args) -> str:
+    result = sec85_overhead.run(duration_s=min(args.duration, 5.0))
+    return sec85_overhead.summarize(result)
+
+
+def _run_sec86(args) -> str:
+    result = sec86_switch.run(gap_duration_s=min(args.duration, 5.0))
+    return sec86_switch.summarize(result)
+
+
+#: name -> (runner, description, default duration in seconds).
+EXPERIMENTS: Dict[str, Tuple[Callable, str, float]] = {
+    "fig3": (_run_fig3, "VM-migration pause-time CDF (baseline)", 0.0),
+    "fig8": (_run_fig8, "video conferencing through PHY failure", 12.0),
+    "fig9": (_run_fig9, "ping latency across failover (3 UEs)", 4.0),
+    "fig10": (_run_fig10, "TCP/UDP throughput through failover", 2.4),
+    "fig11": (_run_fig11, "zero-downtime live FEC upgrade", 10.0),
+    "fig12": (_run_fig12, "Orion added latency vs load", 1.0),
+    "table2": (_run_table2, "PHY-state-discard stress test", 60.0),
+    "sec52": (_run_sec52, "in-switch failure-detector microbench", 0.0),
+    "sec82": (_run_sec82, "dropped TTIs per resilience event", 0.0),
+    "sec85": (_run_sec85, "secondary-PHY (null FAPI) overhead", 3.0),
+    "sec86": (_run_sec86, "switch resources + inter-packet gap", 3.0),
+}
+
+#: Scaled-down durations for `--quick` / `all --quick`.
+QUICK_DURATION: Dict[str, float] = {
+    "fig8": 5.0, "fig9": 3.2, "fig10": 2.4, "fig11": 6.0,
+    "fig12": 0.5, "table2": 4.0, "sec85": 1.5, "sec86": 1.5,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Slingshot paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all' / 'list'",
+    )
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (default: experiment-specific)")
+    parser.add_argument("--failure-at", type=float, default=None,
+                        help="failure/event injection time in seconds")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="trial count for sampled experiments")
+    parser.add_argument("--rates", type=float, nargs="+",
+                        default=[1.0, 10.0, 20.0, 50.0],
+                        help="migration rates for table2")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down durations for a fast pass")
+    return parser
+
+
+def _defaults_for(name: str, args) -> None:
+    _, _, default_duration = EXPERIMENTS[name]
+    if args.duration is None:
+        args.duration = (
+            QUICK_DURATION.get(name, default_duration)
+            if args.quick else default_duration
+        )
+    if args.failure_at is None:
+        if name == "fig10":
+            # Flows must be converged (past TCP slow start) at the event.
+            args.failure_at = args.duration * 0.75
+        else:
+            args.failure_at = max(min(args.duration * 0.4, 2.6), 0.8)
+    if args.runs is None:
+        args.runs = 4 if args.quick else 8
+    if args.quick and args.experiment == "all" and name == "table2":
+        args.rates = [1.0, 20.0]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name, (_, description, _) in EXPERIMENTS.items():
+            print(f"  {name:7s} {description}")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("run 'python -m repro list' for options", file=sys.stderr)
+        return 2
+    for name in names:
+        runner, description, _ = EXPERIMENTS[name]
+        per_run_args = build_parser().parse_args(argv)
+        per_run_args.experiment = args.experiment
+        _defaults_for(name, per_run_args)
+        print(f"\n=== {name}: {description} ===")
+        started = time.time()
+        print(runner(per_run_args))
+        print(f"  [{time.time() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.
+    sys.exit(main())

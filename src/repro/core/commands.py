@@ -1,0 +1,47 @@
+"""Slingshot control packets.
+
+Small Ethernet payloads exchanged between Orion and the switch data
+plane. ``migrate_on_slot`` is the *only* way migrations are triggered:
+Orion is the exclusive initiator and the switch merely executes at the
+requested TTI boundary (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wire size attributed to every Slingshot command/notification packet.
+SLINGSHOT_CMD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MigrateOnSlot:
+    """Orion -> switch: remap an RU to a new PHY at a future slot.
+
+    All fronthaul packets with ``abs_slot >= slot`` are steered to (and
+    accepted from) ``dest_phy_id``; earlier slots stay with the current
+    primary. The comparison happens in the data plane on the timing
+    fields of each fronthaul packet, so the flip is exact at the TTI
+    boundary regardless of control-plane latency.
+    """
+
+    ru_id: int
+    dest_phy_id: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class FailureNotification:
+    """Switch -> Orion: a monitored PHY's heartbeat counter saturated."""
+
+    phy_id: int
+    #: Switch-side detection timestamp (ns).
+    detected_at: int
+
+
+@dataclass(frozen=True)
+class SetMonitor:
+    """Orion -> switch: arm or disarm failure monitoring for one PHY."""
+
+    phy_id: int
+    enabled: bool

@@ -1,0 +1,137 @@
+"""In-switch RAN failure detection (paper §5.2).
+
+The insight: every healthy realtime vRAN layer emits a packet stream
+spaced at most one TTI apart — the PHY sends downlink C-plane fronthaul
+packets every slot — so these streams are natural heartbeats and no
+RAN-side modification or dedicated heartbeat CPU is needed.
+
+Mechanics, mirroring the P4 implementation:
+
+* the switch packet generator injects ``n`` timer packets per timeout
+  period ``T`` (paper defaults: T = 450 µs, n = 50 → 9 µs precision at a
+  negligible 50 k packets/s internal rate, plus per-monitored-PHY tick
+  streams);
+* every downlink packet from PHY ``p`` writes 0 into ``counter[p]``;
+* every timer packet increments the counters of monitored PHYs
+  (saturating); a counter reaching ``n`` means no heartbeat arrived for
+  a full period, and the timer packet is reformatted into a failure
+  notification toward the registered Orion.
+
+The timeout value is chosen against the measured maximum healthy
+inter-packet gap (393 µs in the paper's testbed, §8.6): 450 µs leaves
+margin against false positives while still detecting within ~1 TTI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.net.p4.registers import RegisterArray
+from repro.sim.units import US
+
+
+@dataclass
+class DetectorConfig:
+    """Failure-detector parameters."""
+
+    #: Timeout period T.
+    timeout_ns: int = 450 * US
+    #: Timer ticks per timeout period (n); precision = T/n.
+    ticks_per_timeout: int = 50
+    #: Maximum PHY id supported (register array size).
+    max_phys: int = 256
+
+    @property
+    def tick_period_ns(self) -> int:
+        return max(1, self.timeout_ns // self.ticks_per_timeout)
+
+    @property
+    def precision_ns(self) -> int:
+        """Worst-case extra latency from tick granularity."""
+        return self.tick_period_ns
+
+    @property
+    def pktgen_rate_pps(self) -> float:
+        """Internal timer-packet rate for one monitored PHY."""
+        return 1e9 / self.tick_period_ns
+
+
+@dataclass
+class DetectorStats:
+    heartbeats_seen: int = 0
+    ticks_processed: int = 0
+    failures_detected: int = 0
+    false_positives_rearmed: int = 0
+
+
+class FailureDetector:
+    """Per-PHY heartbeat-counter engine (data-plane state + logic)."""
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        notify: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        #: Called as notify(phy_id, detected_at_ns) on counter saturation.
+        self.notify = notify
+        width = max(self.config.ticks_per_timeout.bit_length() + 1, 8)
+        self.counters = RegisterArray(
+            "detector_counters", self.config.max_phys, width_bits=width
+        )
+        self._monitored: Set[int] = set()
+        #: PHYs already reported (suppress duplicate notifications).
+        self._reported: Set[int] = set()
+        self.stats = DetectorStats()
+
+    # ------------------------------------------------------------------
+    # Control interface (driven by Orion command packets)
+    # ------------------------------------------------------------------
+    def set_monitor(self, phy_id: int, enabled: bool) -> None:
+        """Arm or disarm monitoring of one PHY."""
+        if enabled:
+            self.counters.write(phy_id, 0)
+            self._monitored.add(phy_id)
+            if phy_id in self._reported:
+                self._reported.discard(phy_id)
+                self.stats.false_positives_rearmed += 1
+        else:
+            self._monitored.discard(phy_id)
+            self._reported.discard(phy_id)
+
+    def monitored_phys(self) -> List[int]:
+        return sorted(self._monitored)
+
+    def is_monitored(self, phy_id: int) -> bool:
+        return phy_id in self._monitored
+
+    # ------------------------------------------------------------------
+    # Data-plane events
+    # ------------------------------------------------------------------
+    def on_heartbeat(self, phy_id: int) -> None:
+        """A downlink packet from ``phy_id`` traversed the switch."""
+        if 0 <= phy_id < self.counters.size:
+            self.counters.write(phy_id, 0)
+            self.stats.heartbeats_seen += 1
+
+    def on_timer_tick(self, now_ns: int) -> List[int]:
+        """One timer-packet batch: increment all monitored counters.
+
+        Returns PHY ids newly detected as failed (also delivered via the
+        ``notify`` callback).
+        """
+        self.stats.ticks_processed += 1
+        detected: List[int] = []
+        threshold = self.config.ticks_per_timeout
+        for phy_id in self._monitored:
+            if phy_id in self._reported:
+                continue
+            value = self.counters.increment(phy_id)
+            if value >= threshold:
+                self._reported.add(phy_id)
+                self.stats.failures_detected += 1
+                detected.append(phy_id)
+                if self.notify is not None:
+                    self.notify(phy_id, now_ns)
+        return detected

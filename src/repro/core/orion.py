@@ -1,0 +1,621 @@
+"""Orion — the L2-to-PHY FAPI middlebox (paper §6).
+
+Orion processes pair with an L2 ("L2-side Orion") or a PHY ("PHY-side
+Orion") over the same shared-memory channel the two would normally share,
+and talk to each other over a lean, stateless UDP transport across the
+edge-datacenter network (§6.1). Because FAPI is a narrow waist shared by
+all L2/PHY vendors, interposing here is implementation-agnostic.
+
+The L2-side Orion:
+
+* intercepts the L2's cell initialization (CONFIG/START) and replays it
+  to *both* the primary and the secondary PHY, storing a copy so new
+  secondaries can be spawned after a failover (§6.3);
+* forwards each per-slot TTI request unmodified to the active PHY and
+  fabricates a **null** TTI request for the standby, keeping it alive at
+  negligible CPU cost (§6.2);
+* forwards only the active PHY's responses up to the L2, silently
+  dropping the standby's;
+* on failure notification (or operator request), picks a migration slot,
+  sends `migrate_on_slot` to the switch, and steers FAPI by slot number
+  — requests for slots ≥ the boundary go (real) to the new PHY. The old
+  primary's in-flight responses for pre-boundary slots keep being
+  accepted (pipelined slot draining, Fig 7).
+
+The PHY-side Orion is a stateless relay between the network transport
+and its local PHY's SHM channel.
+
+Both sides model a busy-polling DPDK worker: per-message service time
+plus FIFO queueing, which is what the Fig 12 latency-vs-load
+microbenchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.commands import SLINGSHOT_CMD_BYTES, FailureNotification, MigrateOnSlot, SetMonitor
+from repro.fapi.channels import ShmChannel
+from repro.fapi.codec import wire_size
+from repro.fapi.messages import (
+    ConfigRequest,
+    DlTtiRequest,
+    FapiMessage,
+    SlotIndication,
+    StartRequest,
+    TxDataRequest,
+    UlTtiRequest,
+    null_dl_tti,
+    null_ul_tti,
+)
+from repro.net.addresses import MacAddress
+from repro.net.link import Link
+from repro.net.packet import EtherType, EthernetFrame
+from repro.phy.numerology import SlotClock
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import US
+
+#: Ethernet + IP + UDP overhead on each inter-Orion datagram.
+UDP_OVERHEAD_BYTES = 46
+
+
+@dataclass
+class OrionDatagram:
+    """One FAPI message in flight between two Orion processes."""
+
+    message: FapiMessage
+    #: PHY server id of the sender/receiver PHY side.
+    phy_id: int
+    #: True when flowing PHY -> L2 (an indication/response).
+    is_response: bool
+
+    @property
+    def wire_bytes(self) -> int:
+        return UDP_OVERHEAD_BYTES + wire_size(self.message)
+
+
+@dataclass
+class OrionConfig:
+    """Per-process Orion tunables (service model per Fig 12)."""
+
+    #: Fixed per-message processing cost (parse + transform + enqueue).
+    service_base_ns: int = 1_500
+    #: Additional cost per payload byte (copy through the UDP path).
+    service_per_byte_ns: float = 0.42
+    #: Slot margin used when choosing a failover migration boundary.
+    failover_slot_margin: int = 1
+    #: Slot margin for planned migrations (must exceed the L2's
+    #: schedule-ahead depth so zero TTIs are dropped).
+    planned_slot_margin: int = 6
+    #: Slots of draining during which the old primary's responses for
+    #: pre-boundary slots are still accepted.
+    drain_slots: int = 4
+
+
+@dataclass
+class OrionStats:
+    messages_relayed: int = 0
+    null_requests_sent: int = 0
+    responses_dropped: int = 0
+    drained_responses: int = 0
+    migrations_initiated: int = 0
+    failovers_handled: int = 0
+    bytes_on_wire: int = 0
+    queue_max_depth: int = 0
+
+
+class _ServiceQueue:
+    """Single-worker FIFO modeling Orion's busy-polling DPDK thread."""
+
+    def __init__(self, sim: Simulator, config: OrionConfig, name: str) -> None:
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self._busy_until = 0
+        self.depth = 0
+        self.max_depth = 0
+
+    def submit(self, size_bytes: int, action: Callable[[], None]) -> int:
+        """Queue one message; returns its completion time."""
+        service = self.config.service_base_ns + round(
+            size_bytes * self.config.service_per_byte_ns
+        )
+        start = max(self.sim.now, self._busy_until)
+        done = start + service
+        self._busy_until = done
+        self.depth += 1
+        self.max_depth = max(self.max_depth, self.depth)
+
+        def _complete() -> None:
+            self.depth -= 1
+            action()
+
+        self.sim.at(done, _complete, label=f"{self.name}.service")
+        return done
+
+
+@dataclass
+class CellAssignment:
+    """L2-side Orion's bookkeeping for one cell (RU)."""
+
+    cell_id: int
+    ru_id: int
+    primary_phy: int
+    secondary_phy: Optional[int]
+    #: Stored copy of the cell's initialization messages (§6.3).
+    stored_config: Optional[ConfigRequest] = None
+    #: Pending migration boundary: FAPI for slots >= this goes to the
+    #: (new) destination PHY. None = no migration in progress.
+    migration_slot: Optional[int] = None
+    migration_dest: Optional[int] = None
+    #: Old primary during a migration (drained, then retired).
+    draining_phy: Optional[int] = None
+    drain_until_slot: int = -1
+    #: Servers that failed while serving this cell (placement avoids
+    #: them until an operator explicitly revives them).
+    failed_phys: Set[int] = field(default_factory=set)
+
+
+class PhySideOrion(Process):
+    """Orion peer process running next to one PHY.
+
+    Loss protection (§6.1): the inter-Orion transport is a lean
+    stateless UDP, so a rare datacenter packet loss could starve the PHY
+    of a slot's TTI request — which would crash it (§6.2) and, worse,
+    silence its heartbeat for that slot, tripping the failure detector.
+    The PHY-side Orion therefore runs a per-slot watchdog once a cell's
+    TTI stream is flowing: if a slot's UL/DL TTI request has not arrived
+    shortly before the PHY needs it, Orion discards that slot's messages
+    and injects null requests in their place, keeping both the FAPI
+    contract and the heartbeat cadence intact. Arrival-time gap repair
+    covers any stragglers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy_id: int,
+        mac: MacAddress,
+        config: Optional[OrionConfig] = None,
+        slot_clock: Optional[SlotClock] = None,
+        trace: Optional[TraceRecorder] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name or f"orion-phy{phy_id}")
+        self.phy_id = phy_id
+        self.mac = mac
+        self.config = config or OrionConfig()
+        self.slot_clock = slot_clock
+        self.trace = trace
+        self.stats = OrionStats()
+        self._queue = _ServiceQueue(sim, self.config, self.name)
+        #: SHM channel toward the local PHY.
+        self.shm_to_phy: Optional[ShmChannel] = None
+        #: NIC uplink into the switch.
+        self.uplink: Optional[Link] = None
+        #: L2-side Orion's MAC (destination for responses).
+        self.l2_orion_mac: Optional[MacAddress] = None
+        #: Loss repair: last TTI-request slot seen per (cell, type-name).
+        self._last_tti_slot: Dict[Tuple[int, str], int] = {}
+        #: Nulls injected to cover transport losses.
+        self.nulls_injected = 0
+        #: Lead before slot start at which the watchdog injects.
+        self.watchdog_lead_ns = 200_000
+        self._watchdog_running = False
+
+    # --- Network -> PHY -------------------------------------------------
+    def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
+        payload = frame.payload
+        if not isinstance(payload, OrionDatagram):
+            return
+        self.stats.messages_relayed += 1
+        self._queue.submit(payload.wire_bytes, lambda: self._to_phy(payload.message))
+
+    def _to_phy(self, message: FapiMessage) -> None:
+        if self.shm_to_phy is None:
+            return
+        for repaired in self._repair_gaps(message):
+            self.shm_to_phy.send(repaired)
+        self.shm_to_phy.send(message)
+
+    def _repair_gaps(self, message: FapiMessage) -> List[FapiMessage]:
+        """Fabricate null TTI requests for slots lost on the transport."""
+        if isinstance(message, UlTtiRequest):
+            kind, make_null = "UL", null_ul_tti
+        elif isinstance(message, DlTtiRequest):
+            kind, make_null = "DL", null_dl_tti
+        else:
+            return []
+        key = (message.cell_id, kind)
+        last = self._last_tti_slot.get(key)
+        self._last_tti_slot[key] = max(message.slot, last or message.slot)
+        self._start_watchdog()
+        if last is None or message.slot <= last + 1:
+            return []
+        missing = range(last + 1, min(message.slot, last + 1 + 8))
+        nulls = [make_null(message.cell_id, slot) for slot in missing]
+        self.nulls_injected += len(nulls)
+        if self.trace is not None and nulls:
+            self.trace.record(
+                self.now, "orion.loss_repaired",
+                phy=self.phy_id, cell=message.cell_id, count=len(nulls),
+            )
+        return nulls
+
+    # --- Per-slot watchdog (deadline-based loss repair) -----------------
+    def _start_watchdog(self) -> None:
+        if self._watchdog_running or self.slot_clock is None:
+            return
+        self._watchdog_running = True
+        self._arm_watchdog()
+
+    def _arm_watchdog(self) -> None:
+        assert self.slot_clock is not None
+        next_slot = self.slot_clock.slot_at(self.now + self.watchdog_lead_ns) + 1
+        fire_at = self.slot_clock.slot_start(next_slot) - self.watchdog_lead_ns
+        self.sim.at(
+            fire_at, self._watchdog_tick, next_slot, label=f"{self.name}.watchdog"
+        )
+
+    def _watchdog_tick(self, abs_slot: int) -> None:
+        """Just before the PHY needs slot ``abs_slot``'s requests, check
+        that they arrived; inject nulls for any that did not."""
+        self._arm_watchdog()
+        if self.shm_to_phy is None:
+            return
+        for (cell_id, kind), last in list(self._last_tti_slot.items()):
+            if last >= abs_slot:
+                continue
+            make_null = null_ul_tti if kind == "UL" else null_dl_tti
+            for slot in range(last + 1, abs_slot + 1):
+                self.shm_to_phy.send(make_null(cell_id, slot))
+                self.nulls_injected += 1
+            self._last_tti_slot[(cell_id, kind)] = abs_slot
+            if self.trace is not None:
+                self.trace.record(
+                    self.now, "orion.watchdog_nulls",
+                    phy=self.phy_id, cell=cell_id, kind=kind, slot=abs_slot,
+                )
+
+    # --- PHY -> network ---------------------------------------------------
+    def receive_fapi(self, message: FapiMessage, channel: ShmChannel) -> None:
+        datagram = OrionDatagram(message=message, phy_id=self.phy_id, is_response=True)
+        self.stats.messages_relayed += 1
+        self.stats.bytes_on_wire += datagram.wire_bytes
+        self._queue.submit(datagram.wire_bytes, lambda: self._to_network(datagram))
+
+    def _to_network(self, datagram: OrionDatagram) -> None:
+        if self.uplink is None or self.l2_orion_mac is None:
+            return
+        frame = EthernetFrame(
+            src=self.mac,
+            dst=self.l2_orion_mac,
+            ethertype=EtherType.IPV4,
+            payload=datagram,
+            wire_bytes=datagram.wire_bytes,
+        )
+        self.uplink.send(frame)
+
+
+class L2SideOrion(Process):
+    """Orion peer process running next to the L2 — the migration brain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac: MacAddress,
+        slot_clock: SlotClock,
+        config: Optional[OrionConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+        name: str = "orion-l2",
+    ) -> None:
+        super().__init__(sim, name)
+        self.mac = mac
+        self.slot_clock = slot_clock
+        self.config = config or OrionConfig()
+        self.trace = trace
+        self.stats = OrionStats()
+        self._queue = _ServiceQueue(sim, self.config, self.name)
+        #: SHM channel toward the local L2.
+        self.shm_to_l2: Optional[ShmChannel] = None
+        #: Multi-cell: per-cell SHM channels when several L2 processes
+        #: share this server (falls back to ``shm_to_l2``).
+        self.shm_to_l2_by_cell: Dict[int, ShmChannel] = {}
+        #: NIC uplink into the switch.
+        self.uplink: Optional[Link] = None
+        #: PHY server id -> PHY-side Orion MAC.
+        self.phy_orion_macs: Dict[int, MacAddress] = {}
+        #: Cell assignments by cell id.
+        self.cells: Dict[int, CellAssignment] = {}
+        #: Callback fired when a failover completes (hook for experiments).
+        self.on_failover: Optional[Callable[[int, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Wiring / cluster config
+    # ------------------------------------------------------------------
+    def register_phy_server(self, phy_id: int, orion_mac: MacAddress) -> None:
+        self.phy_orion_macs[phy_id] = orion_mac
+
+    def assign_cell(
+        self, cell_id: int, ru_id: int, primary_phy: int, secondary_phy: Optional[int]
+    ) -> CellAssignment:
+        assignment = CellAssignment(
+            cell_id=cell_id,
+            ru_id=ru_id,
+            primary_phy=primary_phy,
+            secondary_phy=secondary_phy,
+        )
+        self.cells[cell_id] = assignment
+        return assignment
+
+    # ------------------------------------------------------------------
+    # L2 -> PHYs (requests)
+    # ------------------------------------------------------------------
+    def receive_fapi(self, message: FapiMessage, channel: ShmChannel) -> None:
+        """FAPI request arriving from the local L2 over SHM."""
+        assignment = self.cells.get(message.cell_id)
+        if assignment is None:
+            return
+        size = wire_size(message)
+        self._queue.submit(size, lambda: self._route_request(assignment, message))
+
+    def _route_request(self, assignment: CellAssignment, message: FapiMessage) -> None:
+        if isinstance(message, ConfigRequest):
+            # Intercept + store initialization, duplicate to both PHYs (§6.3).
+            assignment.stored_config = message
+            self._send_to_phy(assignment.primary_phy, message)
+            if assignment.secondary_phy is not None:
+                self._send_to_phy(assignment.secondary_phy, message)
+            return
+        if isinstance(message, StartRequest):
+            self._send_to_phy(assignment.primary_phy, message)
+            if assignment.secondary_phy is not None:
+                self._send_to_phy(assignment.secondary_phy, message)
+            return
+        if isinstance(message, (UlTtiRequest, DlTtiRequest, TxDataRequest)):
+            active, standby = self._roles_for_slot(assignment, message.slot)
+            self._send_to_phy(active, message)
+            if standby is not None:
+                null = self._null_counterpart(message)
+                if null is not None:
+                    self._send_to_phy(standby, null)
+                    self.stats.null_requests_sent += 1
+            return
+        # Other control messages follow the current primary.
+        self._send_to_phy(assignment.primary_phy, message)
+
+    def _roles_for_slot(
+        self, assignment: CellAssignment, slot: int
+    ) -> Tuple[int, Optional[int]]:
+        """(active, standby) PHY ids for a given slot's FAPI messages."""
+        if (
+            assignment.migration_slot is not None
+            and assignment.migration_dest is not None
+            and slot >= assignment.migration_slot
+        ):
+            active = assignment.migration_dest
+            standby = (
+                assignment.draining_phy
+                if assignment.draining_phy is not None
+                else assignment.primary_phy
+            )
+            if standby == active:
+                standby = None
+            return active, standby
+        return assignment.primary_phy, assignment.secondary_phy
+
+    def _null_counterpart(self, message: FapiMessage) -> Optional[FapiMessage]:
+        """The null FAPI request keeping the standby alive for this slot."""
+        if isinstance(message, UlTtiRequest):
+            return null_ul_tti(message.cell_id, message.slot)
+        if isinstance(message, DlTtiRequest):
+            return null_dl_tti(message.cell_id, message.slot)
+        # TX_DATA has no null counterpart; the standby needs none.
+        return None
+
+    def _send_to_phy(self, phy_id: Optional[int], message: FapiMessage) -> None:
+        if phy_id is None or self.uplink is None:
+            return
+        mac = self.phy_orion_macs.get(phy_id)
+        if mac is None:
+            return
+        datagram = OrionDatagram(message=message, phy_id=phy_id, is_response=False)
+        self.stats.messages_relayed += 1
+        self.stats.bytes_on_wire += datagram.wire_bytes
+        frame = EthernetFrame(
+            src=self.mac,
+            dst=mac,
+            ethertype=EtherType.IPV4,
+            payload=datagram,
+            wire_bytes=datagram.wire_bytes,
+        )
+        self.uplink.send(frame)
+
+    # ------------------------------------------------------------------
+    # PHYs -> L2 (responses) and switch notifications
+    # ------------------------------------------------------------------
+    def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
+        payload = frame.payload
+        if isinstance(payload, FailureNotification):
+            self._on_failure_notification(payload)
+            return
+        if not isinstance(payload, OrionDatagram):
+            return
+        self._queue.submit(payload.wire_bytes, lambda: self._route_response(payload))
+
+    def _route_response(self, datagram: OrionDatagram) -> None:
+        message = datagram.message
+        assignment = self.cells.get(message.cell_id)
+        if assignment is None:
+            return
+        if self._accept_response(assignment, datagram):
+            self.stats.messages_relayed += 1
+            channel = self.shm_to_l2_by_cell.get(message.cell_id, self.shm_to_l2)
+            if channel is not None and not isinstance(message, SlotIndication):
+                channel.send(message)
+        else:
+            self.stats.responses_dropped += 1
+
+    def _accept_response(
+        self, assignment: CellAssignment, datagram: OrionDatagram
+    ) -> bool:
+        """Only the slot's active PHY's responses reach the L2 — except
+        that an old primary is drained: its responses for pre-boundary
+        slots stay welcome while its pipeline empties (Fig 7)."""
+        slot = datagram.message.slot
+        active, _ = self._roles_for_slot(assignment, slot)
+        if datagram.phy_id == active:
+            if (
+                assignment.migration_slot is not None
+                and datagram.phy_id == assignment.draining_phy
+            ):
+                # The old primary is still producing pre-boundary output
+                # from its slot pipeline (Fig 7); count the drain.
+                self.stats.drained_responses += 1
+            return True
+        if (
+            datagram.phy_id == assignment.draining_phy
+            and assignment.migration_slot is not None
+            and slot < assignment.migration_slot
+            and self.slot_clock.slot_at(self.now) <= assignment.drain_until_slot
+        ):
+            self.stats.drained_responses += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Migration orchestration
+    # ------------------------------------------------------------------
+    def _on_failure_notification(self, notification: FailureNotification) -> None:
+        """The switch detected a dead PHY: fail over every affected cell."""
+        if self.trace is not None:
+            self.trace.record(
+                self.now, "orion.failure_notified", phy=notification.phy_id
+            )
+        for assignment in self.cells.values():
+            if assignment.primary_phy != notification.phy_id:
+                continue
+            if assignment.secondary_phy is None:
+                continue
+            if assignment.migration_slot is not None:
+                continue  # A migration is already in flight.
+            self.stats.failovers_handled += 1
+            self._start_migration(
+                assignment,
+                dest=assignment.secondary_phy,
+                boundary=self.slot_clock.slot_at(self.now)
+                + self.config.failover_slot_margin,
+                failover=True,
+            )
+
+    def planned_migration(self, cell_id: int, at_slot: Optional[int] = None) -> int:
+        """Operator/controller-initiated migration; returns the boundary slot."""
+        assignment = self.cells[cell_id]
+        if assignment.secondary_phy is None:
+            raise RuntimeError(f"cell {cell_id} has no secondary PHY")
+        boundary = (
+            at_slot
+            if at_slot is not None
+            else self.slot_clock.slot_at(self.now) + self.config.planned_slot_margin
+        )
+        self._start_migration(
+            assignment, dest=assignment.secondary_phy, boundary=boundary, failover=False
+        )
+        return boundary
+
+    def _start_migration(
+        self, assignment: CellAssignment, dest: int, boundary: int, failover: bool
+    ) -> None:
+        self.stats.migrations_initiated += 1
+        assignment.migration_slot = boundary
+        assignment.migration_dest = dest
+        assignment.draining_phy = None if failover else assignment.primary_phy
+        assignment.drain_until_slot = boundary + self.config.drain_slots
+        old_primary = assignment.primary_phy
+        # Trigger the fronthaul flip in the switch data plane.
+        self._send_command(
+            MigrateOnSlot(ru_id=assignment.ru_id, dest_phy_id=dest, slot=boundary)
+        )
+        # Re-arm monitoring: watch the new primary, stop watching the old.
+        self._send_command(SetMonitor(phy_id=old_primary, enabled=False))
+        self._send_command(SetMonitor(phy_id=dest, enabled=True))
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "orion.migration_started",
+                cell=assignment.cell_id,
+                dest_phy=dest,
+                boundary=boundary,
+                failover=failover,
+            )
+        # Finalize roles once the boundary + draining window passes.
+        finalize_at = self.slot_clock.slot_start(assignment.drain_until_slot + 1)
+        self.sim.at(
+            max(finalize_at, self.now),
+            self._finalize_migration,
+            assignment,
+            dest,
+            old_primary,
+            failover,
+            label=f"{self.name}.finalize",
+        )
+
+    def _finalize_migration(
+        self,
+        assignment: CellAssignment,
+        dest: int,
+        old_primary: int,
+        failover: bool,
+    ) -> None:
+        if assignment.migration_dest != dest:
+            return  # Superseded by a newer migration.
+        assignment.primary_phy = dest
+        # After a planned migration the old primary becomes the standby;
+        # after a failover there is no standby until one is initialized.
+        assignment.secondary_phy = None if failover else old_primary
+        if failover:
+            assignment.failed_phys.add(old_primary)
+        assignment.migration_slot = None
+        assignment.migration_dest = None
+        assignment.draining_phy = None
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "orion.migration_finalized",
+                cell=assignment.cell_id,
+                primary=dest,
+                secondary=assignment.secondary_phy,
+            )
+        if failover and self.on_failover is not None:
+            self.on_failover(assignment.cell_id, dest)
+
+    def initialize_secondary(self, cell_id: int, phy_id: int) -> None:
+        """Spawn PHY processing for this cell on a new standby server,
+        replaying the stored initialization messages (§6.3)."""
+        assignment = self.cells[cell_id]
+        if assignment.stored_config is None:
+            raise RuntimeError(f"cell {cell_id} has no stored initialization")
+        assignment.secondary_phy = phy_id
+        self._send_to_phy(phy_id, assignment.stored_config)
+        self._send_to_phy(phy_id, StartRequest(cell_id=cell_id))
+        if self.trace is not None:
+            self.trace.record(
+                self.now, "orion.secondary_initialized", cell=cell_id, phy=phy_id
+            )
+
+    def _send_command(self, command) -> None:
+        """Send a Slingshot command packet into the switch."""
+        if self.uplink is None:
+            return
+        frame = EthernetFrame(
+            src=self.mac,
+            dst=MacAddress(0x02_5A_5A_00_00_02),  # Consumed by the pipeline.
+            ethertype=EtherType.SLINGSHOT,
+            payload=command,
+            wire_bytes=SLINGSHOT_CMD_BYTES,
+        )
+        self.uplink.send(frame)

@@ -1,0 +1,43 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes a ``run(...)`` function returning a result dataclass
+plus a ``summarize(result)`` pretty-printer. The pytest benchmarks under
+``benchmarks/`` and the scripts under ``examples/`` both call into these,
+so there is exactly one code path per experiment.
+
+Durations are parameters: the defaults regenerate the paper's plots at
+full length, while the benches pass scaled-down windows (documented in
+EXPERIMENTS.md) to keep CI runtimes sane.
+"""
+
+from repro.experiments import (
+    fig3_vm_migration,
+    fig8_video,
+    fig9_ping,
+    fig10_throughput,
+    fig11_upgrade,
+    fig12_orion_latency,
+    table2_stress,
+    sec52_detector,
+    sec82_dropped_ttis,
+    sec85_overhead,
+    sec86_switch,
+    ablations,
+    ext_massive_mimo,
+)
+
+__all__ = [
+    "fig3_vm_migration",
+    "fig8_video",
+    "fig9_ping",
+    "fig10_throughput",
+    "fig11_upgrade",
+    "fig12_orion_latency",
+    "table2_stress",
+    "sec52_detector",
+    "sec82_dropped_ttis",
+    "sec85_overhead",
+    "sec86_switch",
+    "ablations",
+    "ext_massive_mimo",
+]

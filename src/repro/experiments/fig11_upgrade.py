@@ -1,0 +1,142 @@
+"""Fig 11 — live PHY upgrade to better FEC, with zero downtime.
+
+Paper result: before the upgrade the two phones get low uplink UDP
+throughput (and the Raspberry Pi an unfairly high share); the upgraded
+PHY — emulated by configuring the secondary to run more FEC decoding
+iterations — improves the phones' decode success rate, raising their
+throughput and evening out the shares, with no network downtime during
+the migration.
+
+In this reproduction the "old build" PHY runs a low LDPC iteration
+budget, which visibly hurts UEs operating near their modulation's
+decoding threshold (the phones); the "new build" secondary runs more
+iterations. The effect is produced by the real belief-propagation
+decoder, not a scripted throughput change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.iperf import UdpIperfUplink
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import build_slingshot_cell
+from repro.l2.mac import McsEntry, McsTable
+from repro.phy.modulation import Modulation
+from repro.sim.units import SECOND, s_to_ns
+
+
+@dataclass
+class Fig11Result:
+    #: UE name -> (time s, Mbps) series (1 s bins, as the paper plots).
+    series: Dict[str, List[Tuple[float, float]]]
+    upgrade_time_s: float
+    #: Dropped control slots during the upgrade window (0 = no downtime).
+    control_gaps_during_upgrade: int
+
+    def mean_before_after(self, name: str) -> Tuple[float, float]:
+        points = self.series[name]
+        before = [m for t, m in points if t < self.upgrade_time_s - 0.5]
+        after = [m for t, m in points if t > self.upgrade_time_s + 0.5]
+        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+        return mean(before), mean(after)
+
+    def fairness_before_after(self) -> Tuple[float, float]:
+        """Jain's fairness index across UEs, before vs after."""
+
+        def jain(values: List[float]) -> float:
+            if not values or sum(values) == 0:
+                return 0.0
+            return sum(values) ** 2 / (len(values) * sum(v * v for v in values))
+
+        befores = [self.mean_before_after(name)[0] for name in self.series]
+        afters = [self.mean_before_after(name)[1] for name in self.series]
+        return jain(befores), jain(afters)
+
+
+def run(
+    duration_s: float = 10.0,
+    upgrade_at_s: float = 5.0,
+    old_iterations: int = 2,
+    new_iterations: int = 12,
+    offered_bps: float = 12e6,
+    seed: int = 0,
+) -> Fig11Result:
+    """Run the three-UE uplink workload through a live FEC upgrade."""
+    # The phones sit just above the 16-QAM threshold; with an aggressive
+    # MCS table and few decoder iterations their BLER is painful, which
+    # is the "needs the FEC upgrade" regime of Fig 11.
+    profiles = [
+        UeProfile(ue_id=1, name="OnePlus N10", mean_snr_db=10.3, shadow_sigma_db=0.8),
+        UeProfile(ue_id=2, name="Samsung A52s", mean_snr_db=10.0, shadow_sigma_db=0.8),
+        UeProfile(ue_id=3, name="Raspberry Pi", mean_snr_db=16.0, shadow_sigma_db=0.8),
+    ]
+    config = CellConfig(
+        seed=seed,
+        ue_profiles=profiles,
+        phy_decoder_iterations=old_iterations,
+        secondary_decoder_iterations=new_iterations,
+    )
+    cell = build_slingshot_cell(config)
+    # Pin MCS selection so the phones stay on 16-QAM near threshold
+    # (link adaptation would otherwise back off and mask the FEC gain).
+    cell.l2.mcs_table = McsTable(
+        [
+            McsEntry(min_snr_db=-100.0, modulation=Modulation.QPSK, code_rate=0.5),
+            McsEntry(min_snr_db=8.6, modulation=Modulation.QAM16, code_rate=0.5),
+            McsEntry(min_snr_db=14.5, modulation=Modulation.QAM64, code_rate=0.5),
+        ]
+    )
+    flows: Dict[str, UdpIperfUplink] = {}
+    for ue_id, ue in cell.ues.items():
+        flow = UdpIperfUplink(
+            cell.sim,
+            cell.server,
+            ue,
+            f"iperf-{ue_id}",
+            bearer_id=1,
+            bitrate_bps=offered_bps,
+            bin_ns=SECOND,
+        )
+        flows[ue.name] = flow
+    cell.run_for(s_to_ns(0.2))
+    for flow in flows.values():
+        flow.start()
+    gaps_before = None
+
+    def do_upgrade() -> None:
+        nonlocal gaps_before
+        gaps_before = cell.ru.stats.slots_without_control
+        cell.live_upgrade(decoder_iterations=new_iterations)
+
+    cell.sim.at(s_to_ns(upgrade_at_s), do_upgrade, label="upgrade")
+    cell.run_until(s_to_ns(duration_s))
+    gaps_during = (
+        cell.ru.stats.slots_without_control - gaps_before
+        if gaps_before is not None
+        else 0
+    )
+    series = {
+        name: flow.sink.throughput_series(s_to_ns(0.5), s_to_ns(duration_s))
+        for name, flow in flows.items()
+    }
+    return Fig11Result(
+        series=series,
+        upgrade_time_s=upgrade_at_s,
+        control_gaps_during_upgrade=gaps_during,
+    )
+
+
+def summarize(result: Fig11Result) -> str:
+    lines = ["Fig 11 — uplink UDP throughput before/after live FEC upgrade"]
+    for name in result.series:
+        before, after = result.mean_before_after(name)
+        lines.append(f"  {name:14s}: {before:5.1f} -> {after:5.1f} Mbps")
+    fb, fa = result.fairness_before_after()
+    lines.append(f"  Jain fairness: {fb:.2f} -> {fa:.2f} (paper: shares even out)")
+    lines.append(
+        f"  control gaps during upgrade: {result.control_gaps_during_upgrade} "
+        f"(paper: zero downtime)"
+    )
+    return "\n".join(lines)

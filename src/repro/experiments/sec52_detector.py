@@ -1,0 +1,102 @@
+"""§5.2 — in-switch failure detection microbenchmark.
+
+Paper parameters: timeout T = 450 µs (chosen above the measured 393 µs
+maximum healthy inter-packet gap), n = 50 timer ticks per timeout →
+9 µs detection precision at ~50 k internal packets/second. Detection of
+a SIGKILLed PHY therefore completes within roughly one TTI.
+
+This harness measures, across repeated failovers at random slot phases:
+the detection latency distribution, and that a healthy run produces no
+false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import build_slingshot_cell
+from repro.core.failure_detector import DetectorConfig
+from repro.sim.units import MS, SECOND, US, ns_to_us, s_to_ns
+
+
+@dataclass
+class DetectorResult:
+    detection_latencies_us: List[float]
+    false_positives: int
+    timeout_us: float
+    precision_us: float
+    pktgen_rate_pps: float
+
+    def median_us(self) -> float:
+        return float(np.median(self.detection_latencies_us))
+
+    def max_us(self) -> float:
+        return float(np.max(self.detection_latencies_us))
+
+
+def run(
+    trials: int = 8,
+    healthy_seconds: float = 2.0,
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+) -> DetectorResult:
+    """Measure detection latency over repeated kill trials.
+
+    Each trial uses a fresh cell, kills the primary at a pseudo-random
+    offset within a slot, and reads the switch's detection timestamp
+    from the trace.
+    """
+    rng = np.random.default_rng(seed)
+    latencies: List[float] = []
+    cfg = detector or DetectorConfig()
+    for trial in range(trials):
+        config = CellConfig(
+            seed=seed + trial,
+            ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
+        )
+        cell = build_slingshot_cell(config)
+        if detector is not None:
+            cell.middlebox.reconfigure_detector(cfg)
+            cell.sim.schedule(
+                6 * cell.slot_ns, cell.middlebox.detector.set_monitor, 0, True
+            )
+        kill_at = s_to_ns(0.5) + int(rng.integers(0, 500)) * US
+        cell.kill_phy_at(0, kill_at)
+        cell.run_for(s_to_ns(0.8))
+        detected = cell.trace.last("mbox.failure_detected")
+        if detected is not None:
+            latencies.append(ns_to_us(detected.time - kill_at))
+    # False-positive check: a healthy cell must never trigger detection.
+    config = CellConfig(seed=seed + 1000)
+    healthy = build_slingshot_cell(config)
+    healthy.run_for(s_to_ns(healthy_seconds))
+    false_positives = healthy.trace.count("mbox.failure_detected")
+    return DetectorResult(
+        detection_latencies_us=latencies,
+        false_positives=false_positives,
+        timeout_us=cfg.timeout_ns / US,
+        precision_us=cfg.precision_ns / US,
+        pktgen_rate_pps=cfg.pktgen_rate_pps,
+    )
+
+
+def summarize(result: DetectorResult) -> str:
+    lines = ["§5.2 — in-switch failure detector"]
+    lines.append(
+        f"  T = {result.timeout_us:.0f} us, precision = {result.precision_us:.0f} us, "
+        f"pktgen {result.pktgen_rate_pps / 1e3:.0f} kpps per monitored PHY"
+    )
+    if result.detection_latencies_us:
+        lines.append(
+            f"  detection latency: median {result.median_us():.0f} us, "
+            f"max {result.max_us():.0f} us over {len(result.detection_latencies_us)} kills"
+        )
+    lines.append(
+        f"  false positives over healthy run: {result.false_positives} "
+        f"(max healthy gap ~390 us < T)"
+    )
+    return "\n".join(lines)

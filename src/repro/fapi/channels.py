@@ -1,0 +1,76 @@
+"""FAPI channel models.
+
+In tightly-coupled deployments the L2 and PHY exchange FAPI messages over
+shared memory (SHM); Slingshot's Orion interposes on that channel and can
+extend it across the datacenter with a lean UDP transport. The SHM model
+here is a latency-stamped in-process queue: ~1 µs delivery, preserving
+message order.
+
+Orion's design is agnostic to the physical channel (paper §6.1): anything
+implementing :class:`FapiEndpoint` can peer over a :class:`ShmChannel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.fapi.messages import FapiMessage
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+class FapiEndpoint(Protocol):
+    """Anything that consumes FAPI messages from a channel."""
+
+    def receive_fapi(self, message: FapiMessage, channel: "ShmChannel") -> None:
+        """Handle one delivered FAPI message."""
+
+
+class ShmChannel:
+    """One direction of a shared-memory FAPI channel.
+
+    Delivery latency models the cost of the ring-buffer handoff between
+    two pinned processes (around a microsecond); order is preserved.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Optional[FapiEndpoint] = None,
+        latency_ns: int = 1 * US,
+        name: str = "shm",
+    ) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.latency_ns = latency_ns
+        self.name = name
+        self.messages_sent = 0
+
+    def connect(self, endpoint: FapiEndpoint) -> None:
+        """Attach the consumer (two-phase wiring)."""
+        self.endpoint = endpoint
+
+    def send(self, message: FapiMessage) -> None:
+        """Deliver a message after the channel latency."""
+        if self.endpoint is None:
+            raise RuntimeError(f"SHM channel {self.name} has no endpoint")
+        self.messages_sent += 1
+        self.sim.schedule(
+            self.latency_ns, self._deliver, message, label=f"{self.name}.deliver"
+        )
+
+    def _deliver(self, message: FapiMessage) -> None:
+        assert self.endpoint is not None
+        self.endpoint.receive_fapi(message, channel=self)
+
+
+class DuplexShmChannel:
+    """A pair of SHM channels wiring two FAPI endpoints together."""
+
+    def __init__(self, sim: Simulator, latency_ns: int = 1 * US, name: str = "shm") -> None:
+        self.a_to_b = ShmChannel(sim, None, latency_ns, f"{name}.a2b")
+        self.b_to_a = ShmChannel(sim, None, latency_ns, f"{name}.b2a")
+
+    def connect(self, a: FapiEndpoint, b: FapiEndpoint) -> None:
+        self.a_to_b.connect(b)
+        self.b_to_a.connect(a)

@@ -1,0 +1,276 @@
+"""Binary FAPI codec.
+
+The inter-Orion transport carries FAPI messages over UDP across the edge
+datacenter (paper §6.1), so messages need a wire format. The codec here
+is a compact struct-based TLV encoding: a fixed header (type, cell, slot)
+followed by message-specific fields and repeated PDU records.
+
+Round-tripping through the codec is property-tested; the encoded size
+feeds the link-level serialization-delay model, which is how the "L2-PHY
+traffic is ~100 Mbps vs 4.5 Gbps fronthaul" comparison (§5) shows up.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.fapi import messages as m
+from repro.phy.modulation import Modulation
+
+#: Header: magic (2), type (1), cell_id (2), slot (8 signed), body length (4).
+_HEADER = struct.Struct(">HBHqI")
+_MAGIC = 0x5FA9
+
+_PDU = struct.Struct(">HBBHBqIB")  # ue, harq, modulation, prbs, ndi, tb_id, bytes, retx
+_CRC = struct.Struct(">HBqBfB")  # ue, harq, tb_id, ok, snr, retx
+_UCI = struct.Struct(">HBqB")  # ue, harq, tb_id, ack
+
+
+class FapiCodecError(ValueError):
+    """Raised for malformed wire data."""
+
+
+def _encode_pdus(pdus) -> bytes:
+    parts = [struct.pack(">H", len(pdus))]
+    for pdu in pdus:
+        parts.append(
+            _PDU.pack(
+                pdu.ue_id,
+                pdu.harq_process,
+                int(pdu.modulation),
+                pdu.prbs,
+                1 if pdu.new_data else 0,
+                pdu.tb_id,
+                pdu.tb_bytes,
+                pdu.retx_index,
+            )
+        )
+    return b"".join(parts)
+
+
+def _decode_pdus(data: bytes, offset: int, cls) -> Tuple[List, int]:
+    (count,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    pdus = []
+    for _ in range(count):
+        ue, harq, mod, prbs, ndi, tb_id, tb_bytes, retx = _PDU.unpack_from(data, offset)
+        offset += _PDU.size
+        pdus.append(
+            cls(
+                ue_id=ue,
+                harq_process=harq,
+                modulation=Modulation(mod),
+                prbs=prbs,
+                new_data=bool(ndi),
+                tb_id=tb_id,
+                tb_bytes=tb_bytes,
+                retx_index=retx,
+            )
+        )
+    return pdus, offset
+
+
+def _encode_blob_list(items: List[Tuple[int, bytes]]) -> bytes:
+    parts = [struct.pack(">H", len(items))]
+    for tb_id, payload in items:
+        parts.append(struct.pack(">qI", tb_id, len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def _decode_blob_list(data: bytes, offset: int) -> Tuple[List[Tuple[int, bytes]], int]:
+    (count,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    items = []
+    for _ in range(count):
+        tb_id, length = struct.unpack_from(">qI", data, offset)
+        offset += 12
+        items.append((tb_id, bytes(data[offset : offset + length])))
+        offset += length
+    return items, offset
+
+
+def _encode_body(message: m.FapiMessage) -> bytes:
+    if isinstance(message, m.ConfigRequest):
+        pattern = message.tdd_pattern.encode("ascii")
+        return struct.pack(
+            ">HBH", message.num_prbs, message.numerology_mu, message.ru_id
+        ) + struct.pack(">B", len(pattern)) + pattern
+    if isinstance(message, (m.StartRequest, m.StopRequest, m.SlotIndication)):
+        return b""
+    if isinstance(message, m.ErrorIndication):
+        detail = message.detail.encode("utf-8")
+        return struct.pack(">HH", message.error_code, len(detail)) + detail
+    if isinstance(message, m.UlTtiRequest):
+        return _encode_pdus(message.pdus)
+    if isinstance(message, m.DlTtiRequest):
+        return _encode_pdus(message.pdus)
+    if isinstance(message, m.TxDataRequest):
+        return _encode_blob_list(message.payloads)
+    if isinstance(message, m.RxDataIndication):
+        parts = [struct.pack(">H", len(message.payloads))]
+        for ue, harq, tb_id, payload in message.payloads:
+            parts.append(struct.pack(">HBqI", ue, harq, tb_id, len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+    if isinstance(message, m.CrcIndication):
+        parts = [struct.pack(">H", len(message.results))]
+        for result in message.results:
+            parts.append(
+                _CRC.pack(
+                    result.ue_id,
+                    result.harq_process,
+                    result.tb_id,
+                    1 if result.crc_ok else 0,
+                    result.measured_snr_db,
+                    result.retx_index,
+                )
+            )
+        return b"".join(parts)
+    if isinstance(message, m.UciIndication):
+        parts = [struct.pack(">H", len(message.feedback))]
+        for fb in message.feedback:
+            parts.append(_UCI.pack(fb.ue_id, fb.harq_process, fb.tb_id, 1 if fb.ack else 0))
+        parts.append(struct.pack(">H", len(message.bsr_reports)))
+        for ue_id, pending in message.bsr_reports:
+            parts.append(struct.pack(">HI", ue_id, pending))
+        return b"".join(parts)
+    raise FapiCodecError(f"cannot encode message type {type(message).__name__}")
+
+
+def encode_message(message: m.FapiMessage) -> bytes:
+    """Serialize a FAPI message to its wire representation."""
+    body = _encode_body(message)
+    header = _HEADER.pack(
+        _MAGIC, int(message.message_type), message.cell_id, message.slot, len(body)
+    )
+    return header + body
+
+
+def encoded_size(message: m.FapiMessage) -> int:
+    """Wire size in bytes without materializing the buffer twice."""
+    return len(encode_message(message))
+
+
+def wire_size(message: m.FapiMessage) -> int:
+    """Analytic wire size in bytes for link accounting.
+
+    Unlike :func:`encoded_size`, this never serializes the message, so it
+    also works for data messages whose hot-path payloads are typed
+    objects; declared TB sizes stand in for blob lengths.
+    """
+    size = _HEADER.size
+    if isinstance(message, m.ConfigRequest):
+        return size + 6 + len(message.tdd_pattern)
+    if isinstance(message, (m.UlTtiRequest, m.DlTtiRequest)):
+        return size + 2 + _PDU.size * len(message.pdus)
+    if isinstance(message, m.TxDataRequest):
+        size += 2
+        for tb_id, payload in message.payloads:
+            declared = len(payload) if isinstance(payload, (bytes, bytearray)) else 0
+            size += 12 + declared
+        return size
+    if isinstance(message, m.RxDataIndication):
+        size += 2
+        for _ue, _harq, _tb, payload in message.payloads:
+            declared = len(payload) if isinstance(payload, (bytes, bytearray)) else 0
+            size += 15 + declared
+        return size
+    if isinstance(message, m.CrcIndication):
+        return size + 2 + _CRC.size * len(message.results)
+    if isinstance(message, m.UciIndication):
+        return size + 4 + _UCI.size * len(message.feedback) + 6 * len(message.bsr_reports)
+    if isinstance(message, m.ErrorIndication):
+        return size + 4 + len(message.detail.encode("utf-8"))
+    return size
+
+
+def data_message_wire_size(message: m.FapiMessage, payload_bytes: int) -> int:
+    """Wire size for a data message whose payloads total ``payload_bytes``."""
+    return wire_size(message) + payload_bytes
+
+
+def decode_message(data: bytes) -> m.AnyFapiMessage:
+    """Parse wire bytes back into a typed FAPI message."""
+    if len(data) < _HEADER.size:
+        raise FapiCodecError("truncated FAPI header")
+    magic, mtype, cell_id, slot, body_len = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise FapiCodecError(f"bad magic {magic:#x}")
+    body = data[_HEADER.size : _HEADER.size + body_len]
+    if len(body) != body_len:
+        raise FapiCodecError("truncated FAPI body")
+    mtype = m.MessageType(mtype)
+    if mtype == m.MessageType.CONFIG_REQUEST:
+        num_prbs, mu, ru_id = struct.unpack_from(">HBH", body, 0)
+        (plen,) = struct.unpack_from(">B", body, 5)
+        pattern = body[6 : 6 + plen].decode("ascii")
+        return m.ConfigRequest(
+            cell_id=cell_id, slot=slot, num_prbs=num_prbs,
+            numerology_mu=mu, tdd_pattern=pattern, ru_id=ru_id,
+        )
+    if mtype == m.MessageType.START_REQUEST:
+        return m.StartRequest(cell_id=cell_id, slot=slot)
+    if mtype == m.MessageType.STOP_REQUEST:
+        return m.StopRequest(cell_id=cell_id, slot=slot)
+    if mtype == m.MessageType.SLOT_INDICATION:
+        return m.SlotIndication(cell_id=cell_id, slot=slot)
+    if mtype == m.MessageType.ERROR_INDICATION:
+        code, dlen = struct.unpack_from(">HH", body, 0)
+        detail = body[4 : 4 + dlen].decode("utf-8")
+        return m.ErrorIndication(cell_id=cell_id, slot=slot, error_code=code, detail=detail)
+    if mtype == m.MessageType.UL_TTI_REQUEST:
+        pdus, _ = _decode_pdus(body, 0, m.PuschPdu)
+        return m.UlTtiRequest(cell_id=cell_id, slot=slot, pdus=pdus)
+    if mtype == m.MessageType.DL_TTI_REQUEST:
+        pdus, _ = _decode_pdus(body, 0, m.PdschPdu)
+        return m.DlTtiRequest(cell_id=cell_id, slot=slot, pdus=pdus)
+    if mtype == m.MessageType.TX_DATA_REQUEST:
+        payloads, _ = _decode_blob_list(body, 0)
+        return m.TxDataRequest(cell_id=cell_id, slot=slot, payloads=payloads)
+    if mtype == m.MessageType.RX_DATA_INDICATION:
+        (count,) = struct.unpack_from(">H", body, 0)
+        offset = 2
+        payloads = []
+        for _ in range(count):
+            ue, harq, tb_id, length = struct.unpack_from(">HBqI", body, offset)
+            offset += 15
+            payloads.append((ue, harq, tb_id, bytes(body[offset : offset + length])))
+            offset += length
+        return m.RxDataIndication(cell_id=cell_id, slot=slot, payloads=payloads)
+    if mtype == m.MessageType.CRC_INDICATION:
+        (count,) = struct.unpack_from(">H", body, 0)
+        offset = 2
+        results = []
+        for _ in range(count):
+            ue, harq, tb_id, ok, snr, retx = _CRC.unpack_from(body, offset)
+            offset += _CRC.size
+            results.append(
+                m.CrcResult(
+                    ue_id=ue, harq_process=harq, tb_id=tb_id,
+                    crc_ok=bool(ok), measured_snr_db=snr, retx_index=retx,
+                )
+            )
+        return m.CrcIndication(cell_id=cell_id, slot=slot, results=results)
+    if mtype == m.MessageType.UCI_INDICATION:
+        (count,) = struct.unpack_from(">H", body, 0)
+        offset = 2
+        feedback = []
+        for _ in range(count):
+            ue, harq, tb_id, ack = _UCI.unpack_from(body, offset)
+            offset += _UCI.size
+            feedback.append(
+                m.HarqFeedback(ue_id=ue, harq_process=harq, tb_id=tb_id, ack=bool(ack))
+            )
+        (bsr_count,) = struct.unpack_from(">H", body, offset)
+        offset += 2
+        bsr_reports = []
+        for _ in range(bsr_count):
+            ue, pending = struct.unpack_from(">HI", body, offset)
+            offset += 6
+            bsr_reports.append((ue, pending))
+        return m.UciIndication(
+            cell_id=cell_id, slot=slot, feedback=feedback, bsr_reports=bsr_reports
+        )
+    raise FapiCodecError(f"unknown message type {mtype}")

@@ -1,0 +1,44 @@
+"""O-RAN split 7.2x fronthaul substrate.
+
+The fronthaul carries Ethernet (eCPRI) packets with IQ samples between
+the radio unit (RU) and the PHY. Three properties matter to Slingshot:
+
+* packets carry **frame/subframe/slot header fields** identifying their
+  TTI — the switch middlebox parses these to execute migration exactly at
+  a TTI boundary (paper §5.1);
+* a healthy PHY emits downlink **C-plane packets in every slot** — the
+  natural heartbeat behind in-switch failure detection (§5.2);
+* the traffic volume is large (≈4.5 Gb/s per RU in the paper's testbed),
+  which is why the middlebox lives in the switch rather than in software.
+
+This package provides the packet formats (:mod:`repro.fronthaul.oran`),
+the over-the-air interface between the RU and UEs
+(:mod:`repro.fronthaul.air`), and the RU model (:mod:`repro.fronthaul.ru`).
+"""
+
+from repro.fronthaul.oran import (
+    CplaneMessage,
+    UplaneDownlink,
+    UplaneUplink,
+    UlGrant,
+    DlAllocation,
+    uplane_wire_bytes,
+)
+from repro.fronthaul.air import AirInterface, UeRadioPort
+from repro.fronthaul.ecpri import EcpriHeader, decode_header, encode_header
+from repro.fronthaul.ru import RadioUnit
+
+__all__ = [
+    "EcpriHeader",
+    "decode_header",
+    "encode_header",
+    "CplaneMessage",
+    "UplaneDownlink",
+    "UplaneUplink",
+    "UlGrant",
+    "DlAllocation",
+    "uplane_wire_bytes",
+    "AirInterface",
+    "UeRadioPort",
+    "RadioUnit",
+]

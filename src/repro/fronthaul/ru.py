@@ -1,0 +1,219 @@
+"""Radio unit (RU) model.
+
+The RU is dumb by design in split 7.2x: it radiates whatever IQ data the
+PHY's C/U-plane packets describe and captures uplink IQ on command. It is
+addressed by, and sends to, a single **virtual PHY MAC address**; the
+switch middlebox translates that to the current primary PHY (paper §5.1),
+so the RU never knows a migration happened.
+
+Protocol compliance checking: the RU records when it observes packets for
+the *same* slot from two different PHY sources — the malfunction scenario
+that motivates TTI-boundary-aligned migration. The ablation bench flips
+the middlebox into unaligned mode and watches this counter go up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.fronthaul.air import AirInterface
+from repro.fronthaul.oran import (
+    CplaneMessage,
+    UplaneDownlink,
+    UplaneUplink,
+    UplaneUplinkControlOnly,
+)
+from repro.net.addresses import MacAddress
+from repro.net.link import Link
+from repro.net.packet import EtherType, EthernetFrame
+from repro.phy.numerology import SlotClock, SlotType, TddPattern
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import US
+
+
+@dataclass
+class RuStats:
+    """Counters for RU-side behaviour and compliance checks."""
+
+    cplane_received: int = 0
+    uplane_dl_received: int = 0
+    ul_packets_sent: int = 0
+    slots_with_control: int = 0
+    slots_without_control: int = 0
+    #: Slots for which packets from more than one PHY source were seen —
+    #: the protocol violation unaligned migration would cause.
+    conflicting_source_slots: int = 0
+
+
+class RadioUnit(Process):
+    """A split-7.2x radio unit bound to one air interface.
+
+    Per downlink slot, the RU waits (until just past the slot start) for
+    the C-plane packet from its PHY; if present, it broadcasts control
+    (incl. UL grants) to UEs and radiates any U-plane TBs that arrived.
+    Per uplink slot, it captures UE transmissions at slot end and ships
+    them to the virtual PHY address.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ru_id: int,
+        mac: MacAddress,
+        virtual_phy_mac: MacAddress,
+        slot_clock: SlotClock,
+        tdd: TddPattern,
+        air: AirInterface,
+        uplink: Optional[Link] = None,
+        trace: Optional[TraceRecorder] = None,
+        control_deadline_ns: int = 200 * US,
+        name: str = "ru",
+    ) -> None:
+        super().__init__(sim, name)
+        self.ru_id = ru_id
+        self.mac = mac
+        self.virtual_phy_mac = virtual_phy_mac
+        self.slot_clock = slot_clock
+        self.tdd = tdd
+        self.air = air
+        self.uplink = uplink
+        self.trace = trace
+        #: How long past slot start the RU waits for the slot's C-plane.
+        self.control_deadline_ns = control_deadline_ns
+        self.stats = RuStats()
+        #: C-plane messages received, keyed by absolute slot.
+        self._cplane: Dict[int, CplaneMessage] = {}
+        #: DL U-plane blocks received, keyed by absolute slot.
+        self._dl_data: Dict[int, List[UplaneDownlink]] = {}
+        #: PHY source ids seen per slot (compliance check).
+        self._sources_per_slot: Dict[int, Set[int]] = {}
+        self._started = False
+
+    def start(self) -> None:
+        """Begin per-slot operation at the next slot boundary."""
+        if self._started:
+            return
+        self._started = True
+        next_slot = self.slot_clock.slot_at(self.now) + 1
+        self.sim.at(
+            self.slot_clock.slot_start(next_slot),
+            self._slot_boundary,
+            next_slot,
+            label=f"{self.name}.slot",
+        )
+
+    # ------------------------------------------------------------------
+    # Fronthaul receive path (network endpoint protocol)
+    # ------------------------------------------------------------------
+    def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
+        """Handle a fronthaul packet from the switch."""
+        payload = frame.payload
+        if isinstance(payload, CplaneMessage):
+            self._record_source(payload.abs_slot, payload.source_phy_id)
+            self.stats.cplane_received += 1
+            # Keep the first C-plane for a slot; duplicates from a second
+            # source are counted by _record_source.
+            self._cplane.setdefault(payload.abs_slot, payload)
+        elif isinstance(payload, UplaneDownlink):
+            self._record_source(payload.abs_slot, payload.source_phy_id)
+            self.stats.uplane_dl_received += 1
+            self._dl_data.setdefault(payload.abs_slot, []).append(payload)
+
+    def _record_source(self, abs_slot: int, source_phy_id: int) -> None:
+        sources = self._sources_per_slot.setdefault(abs_slot, set())
+        before = len(sources)
+        sources.add(source_phy_id)
+        if before == 1 and len(sources) == 2:
+            self.stats.conflicting_source_slots += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.now, "ru.conflicting_sources", slot=abs_slot, ru=self.ru_id
+                )
+
+    # ------------------------------------------------------------------
+    # Per-slot operation
+    # ------------------------------------------------------------------
+    def _slot_boundary(self, abs_slot: int) -> None:
+        # Schedule the next boundary first so a failure in this slot's
+        # handling can never stop the radio.
+        self.sim.at(
+            self.slot_clock.slot_start(abs_slot + 1),
+            self._slot_boundary,
+            abs_slot + 1,
+            label=f"{self.name}.slot",
+        )
+        slot_type = self.tdd.slot_type(abs_slot)
+        # Give the PHY's packets a grace window past the slot start, then act.
+        self.call_after(
+            self.control_deadline_ns, self._process_slot, abs_slot, slot_type
+        )
+        # Garbage-collect state from long-past slots.
+        self._gc(abs_slot - 16)
+
+    def _process_slot(self, abs_slot: int, slot_type: SlotType) -> None:
+        cplane = self._cplane.pop(abs_slot, None)
+        if cplane is None:
+            self.stats.slots_without_control += 1
+            # Nothing to radiate; UEs observe downlink silence this slot.
+            self._dl_data.pop(abs_slot, None)
+            return
+        self.stats.slots_with_control += 1
+        # Broadcast downlink control (carries UL grants) to all UEs.
+        self.air.broadcast_dl_control(
+            abs_slot, cplane.ul_grants, cplane.vran_instance_id
+        )
+        # Radiate downlink data.
+        for packet in self._dl_data.pop(abs_slot, []):
+            self.air.deliver_dl_data(abs_slot, packet.block)
+        if slot_type is SlotType.UPLINK:
+            # Capture at the end of the slot: UEs transmit during it.
+            capture_at = self.slot_clock.slot_start(abs_slot + 1)
+            self.sim.at(
+                capture_at, self._capture_uplink, abs_slot, label=f"{self.name}.capture"
+            )
+
+    def _capture_uplink(self, abs_slot: int) -> None:
+        if self.uplink is None:
+            return
+        address = self.slot_clock.address_of(abs_slot)
+        transmissions = self.air.collect_uplink(abs_slot)
+        for transmission in transmissions:
+            if transmission.block is not None:
+                payload = UplaneUplink(
+                    ru_id=self.ru_id,
+                    address=address,
+                    abs_slot=abs_slot,
+                    block=transmission.block,
+                    realization=transmission.realization,
+                    dl_feedback=transmission.dl_feedback,
+                    bsr_bytes=transmission.bsr_bytes,
+                )
+            elif transmission.dl_feedback or transmission.bsr_bytes:
+                payload = UplaneUplinkControlOnly(
+                    ru_id=self.ru_id,
+                    address=address,
+                    abs_slot=abs_slot,
+                    ue_id=transmission.ue_id,
+                    dl_feedback=transmission.dl_feedback,
+                    bsr_bytes=transmission.bsr_bytes,
+                )
+            else:
+                continue
+            frame = EthernetFrame(
+                src=self.mac,
+                dst=self.virtual_phy_mac,
+                ethertype=EtherType.ECPRI,
+                payload=payload,
+                wire_bytes=payload.wire_bytes,
+            )
+            self.uplink.send(frame)
+            self.stats.ul_packets_sent += 1
+
+    def _gc(self, before_slot: int) -> None:
+        for store in (self._cplane, self._dl_data, self._sources_per_slot):
+            stale = [slot for slot in store if slot < before_slot]
+            for slot in stale:
+                del store[slot]

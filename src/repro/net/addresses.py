@@ -1,0 +1,62 @@
+"""MAC addresses.
+
+Fronthaul packets in O-RAN split 7.2x deployments are raw Ethernet frames
+addressed by MAC; Slingshot's virtual-PHY-address scheme (§5.1 of the
+paper) rewrites destination MACs in the switch data plane. A tiny value
+type keeps addresses hashable, comparable, and printable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 48):
+            raise ValueError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` notation."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part, 16)
+            if not 0 <= octet <= 0xFF:
+                raise ValueError(f"malformed MAC octet in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+#: The all-ones broadcast address.
+BROADCAST_MAC = MacAddress((1 << 48) - 1)
+
+
+class MacAllocator:
+    """Hands out unique unicast MAC addresses for simulated nodes."""
+
+    def __init__(self, oui: int = 0x02_00_00) -> None:
+        # 0x02 prefix = locally administered, unicast.
+        self._base = oui << 24
+        self._next = 1
+
+    def allocate(self) -> MacAddress:
+        """Return a fresh unique address."""
+        mac = MacAddress(self._base | self._next)
+        self._next += 1
+        return mac

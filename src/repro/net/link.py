@@ -1,0 +1,118 @@
+"""Point-to-point links with latency and serialization delay.
+
+Each link direction models: serialization at the sender's line rate,
+fixed propagation/processing latency, and FIFO ordering. The fronthaul
+fiber, inter-server 100 GbE links, and the core-network uplink are all
+instances with different parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.net.packet import EthernetFrame
+from repro.sim.engine import Simulator
+from repro.sim.units import SECOND
+
+
+class NetworkEndpoint(Protocol):
+    """Anything that can receive an Ethernet frame from a link."""
+
+    def receive_frame(self, frame: EthernetFrame, ingress: "Link") -> None:
+        """Handle an arriving frame. ``ingress`` identifies the delivering link."""
+
+
+class Link:
+    """One direction of a network link.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    endpoint:
+        Receiver of frames pushed into this link.
+    bandwidth_bps:
+        Line rate in bits/second; 0 disables serialization delay.
+    latency_ns:
+        Fixed one-way latency (propagation + PHY/MAC processing).
+    name:
+        Human-readable label for traces.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Optional[NetworkEndpoint] = None,
+        bandwidth_bps: float = 100e9,
+        latency_ns: int = 1_000,
+        name: str = "link",
+    ) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_ns = latency_ns
+        self.name = name
+        #: Time at which the sender's line becomes free again.
+        self._line_free_at = 0
+        #: Counters for accounting (used by overhead analyses).
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    def connect(self, endpoint: NetworkEndpoint) -> None:
+        """Attach the receiving endpoint (allows two-phase wiring)."""
+        self.endpoint = endpoint
+
+    def serialization_delay_ns(self, wire_bytes: int) -> int:
+        """Time to clock ``wire_bytes`` onto the line at the link rate."""
+        if self.bandwidth_bps <= 0:
+            return 0
+        return round(wire_bytes * 8 * SECOND / self.bandwidth_bps)
+
+    def send(self, frame: EthernetFrame) -> int:
+        """Transmit a frame; returns its scheduled arrival time.
+
+        Serialization is FIFO: a frame cannot start until the previous one
+        has fully left the sender.
+        """
+        if self.endpoint is None:
+            raise RuntimeError(f"link {self.name} has no endpoint")
+        start = max(self.sim.now, self._line_free_at)
+        tx_done = start + self.serialization_delay_ns(frame.wire_bytes)
+        self._line_free_at = tx_done
+        arrival = tx_done + self.latency_ns
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_bytes
+        self.sim.at(arrival, self._deliver, frame, label=f"{self.name}.deliver")
+        return arrival
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        assert self.endpoint is not None
+        self.endpoint.receive_frame(frame, ingress=self)
+
+    @property
+    def utilization_window_end(self) -> int:
+        """Time at which the line becomes idle (for tests/diagnostics)."""
+        return self._line_free_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        gbps = self.bandwidth_bps / 1e9
+        return f"<Link {self.name} {gbps:g}Gbps {self.latency_ns}ns>"
+
+
+class DuplexLink:
+    """Convenience pair of opposite-direction :class:`Link` instances."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 100e9,
+        latency_ns: int = 1_000,
+        name: str = "duplex",
+    ) -> None:
+        self.forward = Link(sim, None, bandwidth_bps, latency_ns, f"{name}.fwd")
+        self.reverse = Link(sim, None, bandwidth_bps, latency_ns, f"{name}.rev")
+
+    def connect(self, a: NetworkEndpoint, b: NetworkEndpoint) -> None:
+        """Wire ``a -> forward -> b`` and ``b -> reverse -> a``."""
+        self.forward.connect(b)
+        self.reverse.connect(a)

@@ -1,0 +1,34 @@
+"""Programmable-switch (P4/Tofino-style) data-plane model.
+
+Slingshot's fronthaul middlebox and failure detector are written as a P4
+program plus a Python control plane (paper §7). This package models the
+primitives that program uses:
+
+* :class:`~repro.net.p4.tables.MatchActionTable` — exact-match tables
+  installed from the control plane (with the control plane's tens-of-ms
+  rule-update latency, which is *why* migration must happen in the data
+  plane).
+* :class:`~repro.net.p4.registers.RegisterArray` — data-plane-updatable
+  state (the RU-to-PHY mapping, migration request store, and
+  failure-detector counters).
+* :class:`~repro.net.p4.packetgen.PacketGenerator` — Tofino's built-in
+  periodic packet generator, used to emulate timer ticks.
+* :mod:`~repro.net.p4.resources` — switch ASIC resource accounting for the
+  §8.6 resource-usage table.
+"""
+
+from repro.net.p4.tables import MatchActionTable, TableEntry
+from repro.net.p4.registers import RegisterArray
+from repro.net.p4.packetgen import PacketGenerator
+from repro.net.p4.control import ControlPlane
+from repro.net.p4.resources import PipelineResourceModel, ResourceUsage
+
+__all__ = [
+    "MatchActionTable",
+    "TableEntry",
+    "RegisterArray",
+    "PacketGenerator",
+    "ControlPlane",
+    "PipelineResourceModel",
+    "ResourceUsage",
+]

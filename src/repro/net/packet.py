@@ -1,0 +1,77 @@
+"""Ethernet frames.
+
+Frames carry a typed Python payload plus an explicit wire size. The wire
+size — not the in-memory representation — drives serialization delay and
+bandwidth accounting on links, so scaled-down payloads (e.g. reduced IQ
+sample counts) can still model full-rate fronthaul traffic by declaring
+their real on-the-wire size.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.addresses import MacAddress
+
+#: Minimum legal Ethernet frame size (64 bytes incl. FCS).
+MIN_FRAME_BYTES = 64
+
+#: Standard maximum frame size used for fragmentation decisions.
+MTU_BYTES = 1500
+
+
+class EtherType(enum.IntEnum):
+    """EtherType values for the traffic classes in the simulated fabric."""
+
+    #: eCPRI — O-RAN split 7.2x fronthaul (real value from the eCPRI spec).
+    ECPRI = 0xAEFE
+    #: IPv4 — app/core traffic and Orion's UDP FAPI transport.
+    IPV4 = 0x0800
+    #: Slingshot control packets (migrate_on_slot, failure notifications,
+    #: switch timer/packet-generator packets). A locally-chosen value.
+    SLINGSHOT = 0x88B5
+    #: Precision Time Protocol (modeled only for completeness).
+    PTP = 0x88F7
+
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class EthernetFrame:
+    """A simulated Ethernet frame.
+
+    ``payload`` is any Python object (typed messages defined by each
+    protocol module); ``wire_bytes`` is the frame's on-the-wire size used
+    for link timing.
+    """
+
+    src: MacAddress
+    dst: MacAddress
+    ethertype: EtherType
+    payload: Any
+    wire_bytes: int = MIN_FRAME_BYTES
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < MIN_FRAME_BYTES:
+            self.wire_bytes = MIN_FRAME_BYTES
+
+    def copy_to(self, dst: MacAddress) -> "EthernetFrame":
+        """Clone the frame with a rewritten destination (switch forwarding)."""
+        return EthernetFrame(
+            src=self.src,
+            dst=dst,
+            ethertype=self.ethertype,
+            payload=self.payload,
+            wire_bytes=self.wire_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Frame #{self.frame_id} {self.src}->{self.dst} "
+            f"{self.ethertype.name} {self.wire_bytes}B>"
+        )

@@ -1,0 +1,91 @@
+"""Precision Time Protocol (PTP) clock model.
+
+The testbed's RU and PHY servers are slot-synchronized by a PTP
+grandmaster (Table 1); the switch *data plane* is not time-synchronized
+at all (§5.1) — which is exactly why Slingshot triggers migration on the
+frame/subframe/slot fields carried in fronthaul packets rather than on
+any switch-local notion of time.
+
+This module models disciplined and undisciplined clocks so that claim is
+checkable: a PTP-disciplined clock stays within sub-microsecond offset
+of true time, while a free-running oscillator drifts by parts-per-million
+— milliseconds per hour, hopeless against 500 µs slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.units import SECOND, US
+
+
+@dataclass
+class PtpConfig:
+    """Servo and oscillator characteristics."""
+
+    #: Sync message interval (PTP default: 1 s; telecom profiles faster).
+    sync_interval_ns: int = SECOND // 16
+    #: Residual offset after servo correction (one-sigma).
+    residual_sigma_ns: float = 80.0
+    #: Free-running oscillator drift, in parts per million.
+    drift_ppm: float = 8.0
+
+
+class PtpClock:
+    """A local clock, optionally disciplined by PTP.
+
+    ``read(true_time)`` returns this clock's view of the given true
+    simulated time. Undisciplined clocks accumulate drift from their
+    epoch; disciplined clocks are re-aligned every sync interval with a
+    small residual error.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PtpConfig] = None,
+        disciplined: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        epoch_ns: int = 0,
+    ) -> None:
+        self.config = config or PtpConfig()
+        self.disciplined = disciplined
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.epoch_ns = epoch_ns
+        #: Offset at the last discipline point.
+        self._base_offset_ns = 0.0
+        self._last_sync_ns = epoch_ns
+        #: This oscillator's actual drift (fixed per instance).
+        self._drift = float(self.rng.normal(0.0, self.config.drift_ppm / 3.0))
+        self.syncs_applied = 0
+
+    @property
+    def drift_ppm(self) -> float:
+        return self._drift
+
+    def _sync_if_due(self, true_time: int) -> None:
+        if not self.disciplined:
+            return
+        while true_time - self._last_sync_ns >= self.config.sync_interval_ns:
+            self._last_sync_ns += self.config.sync_interval_ns
+            self._base_offset_ns = float(
+                self.rng.normal(0.0, self.config.residual_sigma_ns)
+            )
+            self.syncs_applied += 1
+
+    def offset_ns(self, true_time: int) -> float:
+        """Current clock error: local reading minus true time."""
+        self._sync_if_due(true_time)
+        elapsed = true_time - (self._last_sync_ns if self.disciplined else self.epoch_ns)
+        return self._base_offset_ns + elapsed * self._drift / 1e6
+
+    def read(self, true_time: int) -> int:
+        """This clock's reading at a true simulated instant."""
+        return true_time + round(self.offset_ns(true_time))
+
+    def slot_boundary_error_ns(self, true_time: int, slot_ns: int = 500_000) -> float:
+        """How far this clock's idea of 'the slot boundary' lands from
+        the true boundary — the figure of merit for migration triggering."""
+        return abs(self.offset_ns(true_time)) % slot_ns

@@ -1,0 +1,195 @@
+"""Edge-datacenter switch.
+
+A :class:`Switch` owns numbered ports, each of which may be cabled to a
+node via a pair of :class:`~repro.net.link.Link` objects. Forwarding is
+delegated to a pluggable pipeline — the default is plain static L2
+forwarding; Slingshot installs the P4-modeled fronthaul-middlebox pipeline
+from :mod:`repro.core.fh_middlebox` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.net.addresses import BROADCAST_MAC, MacAddress
+from repro.net.link import Link, NetworkEndpoint
+from repro.net.packet import EthernetFrame
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+class ForwardingDecision:
+    """What the pipeline wants done with one ingress frame.
+
+    ``out_ports`` lists egress ports; an empty list drops the frame.
+    ``frame`` may be a rewritten copy (e.g. virtual-address translation).
+    ``extra`` carries additional frames to emit (e.g. failure notifications
+    or mirrored packets), as (port, frame) pairs.
+    """
+
+    __slots__ = ("out_ports", "frame", "extra")
+
+    def __init__(
+        self,
+        out_ports: List[int],
+        frame: EthernetFrame,
+        extra: Optional[List["tuple[int, EthernetFrame]"]] = None,
+    ) -> None:
+        self.out_ports = out_ports
+        self.frame = frame
+        self.extra = extra or []
+
+    @classmethod
+    def drop(cls, frame: EthernetFrame) -> "ForwardingDecision":
+        return cls([], frame)
+
+
+class SwitchPipeline(Protocol):
+    """Packet-processing program installed on a switch."""
+
+    def process(
+        self, frame: EthernetFrame, in_port: int, switch: "Switch"
+    ) -> ForwardingDecision:
+        """Decide forwarding for one ingress frame."""
+
+
+class StaticL2Pipeline:
+    """Default pipeline: static MAC table plus broadcast flooding."""
+
+    def __init__(self) -> None:
+        self.mac_table: Dict[MacAddress, int] = {}
+
+    def learn(self, mac: MacAddress, port: int) -> None:
+        """Install a static MAC-to-port entry."""
+        self.mac_table[mac] = port
+
+    def process(
+        self, frame: EthernetFrame, in_port: int, switch: "Switch"
+    ) -> ForwardingDecision:
+        if frame.dst == BROADCAST_MAC:
+            out = [p for p in switch.port_numbers() if p != in_port]
+            return ForwardingDecision(out, frame)
+        port = self.mac_table.get(frame.dst)
+        if port is None or port == in_port:
+            return ForwardingDecision.drop(frame)
+        return ForwardingDecision([port], frame)
+
+
+class SwitchPort(NetworkEndpoint):
+    """One switch port; receives frames from its ingress link."""
+
+    def __init__(self, switch: "Switch", number: int) -> None:
+        self.switch = switch
+        self.number = number
+        #: Egress link toward the attached node (None until cabled).
+        self.egress: Optional[Link] = None
+        self.frames_in = 0
+        self.frames_out = 0
+
+    def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
+        self.frames_in += 1
+        self.switch.ingress(frame, self.number)
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Send a frame out of this port toward the attached node."""
+        if self.egress is None:
+            return
+        self.frames_out += 1
+        self.egress.send(frame)
+
+
+class Switch(Process):
+    """A store-and-forward switch with a pluggable processing pipeline.
+
+    ``pipeline_latency_ns`` models the data-plane forwarding latency
+    (hundreds of nanoseconds on Tofino-class hardware).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "switch",
+        pipeline: Optional[SwitchPipeline] = None,
+        pipeline_latency_ns: int = 400,
+    ) -> None:
+        super().__init__(sim, name)
+        self.pipeline: SwitchPipeline = pipeline or StaticL2Pipeline()
+        self.pipeline_latency_ns = pipeline_latency_ns
+        self._ports: Dict[int, SwitchPort] = {}
+        self.frames_processed = 0
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_port(self, number: Optional[int] = None) -> SwitchPort:
+        """Create a port; auto-numbered if ``number`` is None."""
+        if number is None:
+            number = max(self._ports, default=-1) + 1
+        if number in self._ports:
+            raise ValueError(f"port {number} already exists on {self.name}")
+        port = SwitchPort(self, number)
+        self._ports[number] = port
+        return port
+
+    def attach(
+        self,
+        endpoint: NetworkEndpoint,
+        bandwidth_bps: float = 100e9,
+        latency_ns: int = 1_000,
+        port: Optional[int] = None,
+        name: str = "",
+    ) -> SwitchPort:
+        """Cable a node to a (possibly new) port with a duplex link pair.
+
+        Returns the switch port. The node should send frames into
+        ``port.ingress_link`` (exposed as the returned value's
+        ``ingress_link`` attribute).
+        """
+        sw_port = self.add_port(port)
+        label = name or getattr(endpoint, "name", f"node{sw_port.number}")
+        # Node -> switch direction.
+        up = Link(self.sim, sw_port, bandwidth_bps, latency_ns, f"{label}->{self.name}")
+        # Switch -> node direction.
+        down = Link(self.sim, endpoint, bandwidth_bps, latency_ns, f"{self.name}->{label}")
+        sw_port.egress = down
+        # Expose the uplink so the node can transmit.
+        sw_port.ingress_link = up  # type: ignore[attr-defined]
+        return sw_port
+
+    def port(self, number: int) -> SwitchPort:
+        return self._ports[number]
+
+    def port_numbers(self) -> List[int]:
+        return sorted(self._ports)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def ingress(self, frame: EthernetFrame, in_port: int) -> None:
+        """Run the pipeline on an ingress frame and forward the result."""
+        self.frames_processed += 1
+        decision = self.pipeline.process(frame, in_port, self)
+        if not decision.out_ports and not decision.extra:
+            self.frames_dropped += 1
+            return
+        self.sim.schedule(
+            self.pipeline_latency_ns,
+            self._egress,
+            decision,
+            label=f"{self.name}.egress",
+        )
+
+    def inject(self, frame: EthernetFrame, in_port: int = -1) -> None:
+        """Inject a frame into the pipeline as if received (packet generator)."""
+        self.ingress(frame, in_port)
+
+    def _egress(self, decision: ForwardingDecision) -> None:
+        for number in decision.out_ports:
+            port = self._ports.get(number)
+            if port is not None:
+                port.transmit(decision.frame)
+        for number, frame in decision.extra:
+            port = self._ports.get(number)
+            if port is not None:
+                port.transmit(frame)

@@ -1,0 +1,126 @@
+"""Wireless channel models.
+
+Two layers:
+
+* :class:`AwgnChannel` — symbol-level additive white Gaussian noise at a
+  given SNR, used when a transmission is actually decoded.
+* :class:`UeChannelModel` — per-UE slow SNR evolution (AR(1) shadowing
+  around a mean plus occasional deeper fades), which gives each UE a
+  distinct, time-varying link quality. This is what makes the paper's
+  "PHY impairments resemble wireless impairments" argument observable:
+  even without any migrations, UEs see natural SNR dips and decode
+  failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def snr_db_to_noise_var(snr_db: float) -> float:
+    """Complex noise variance for unit-energy symbols at the given SNR."""
+    return 10.0 ** (-snr_db / 10.0)
+
+
+@dataclass(frozen=True)
+class ChannelRealization:
+    """The channel state applied to one transmission."""
+
+    snr_db: float
+
+    @property
+    def noise_var(self) -> float:
+        return snr_db_to_noise_var(self.snr_db)
+
+
+class AwgnChannel:
+    """Applies AWGN to unit-energy symbols."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def apply(
+        self, symbols: np.ndarray, realization: ChannelRealization
+    ) -> np.ndarray:
+        """Return symbols plus complex Gaussian noise at the realized SNR."""
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        sigma = np.sqrt(realization.noise_var / 2.0)
+        noise = self.rng.normal(0.0, sigma, size=symbols.shape) + 1j * self.rng.normal(
+            0.0, sigma, size=symbols.shape
+        )
+        return symbols + noise
+
+    def garbage(self, count: int) -> np.ndarray:
+        """Pure-noise 'symbols' standing in for missing fronthaul data.
+
+        When fronthaul packets are lost during a migration, the PHY
+        processes garbage-valued IQ samples (paper §4); decoding them is
+        indistinguishable from decoding an extremely noisy channel.
+        """
+        sigma = np.sqrt(0.5)
+        return self.rng.normal(0.0, sigma, size=count) + 1j * self.rng.normal(
+            0.0, sigma, size=count
+        )
+
+
+class UeChannelModel:
+    """Per-UE slowly-varying SNR process.
+
+    ``snr(slot)`` is a mean SNR plus an AR(1) shadowing term updated per
+    slot, with occasional short fade events that drop the SNR by several
+    dB — producing the routine throughput/latency fluctuations visible at
+    the edges of the paper's Fig 9.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_snr_db: float = 18.0,
+        shadow_sigma_db: float = 1.2,
+        correlation: float = 0.99,
+        fade_probability: float = 0.0005,
+        fade_depth_db: float = 6.0,
+        fade_duration_slots: int = 20,
+    ) -> None:
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError("correlation must be in [0, 1)")
+        self.rng = rng
+        self.mean_snr_db = mean_snr_db
+        self.shadow_sigma_db = shadow_sigma_db
+        self.correlation = correlation
+        self.fade_probability = fade_probability
+        self.fade_depth_db = fade_depth_db
+        self.fade_duration_slots = fade_duration_slots
+        self._shadow_db = 0.0
+        self._fade_until_slot = -1
+        self._last_slot = -1
+
+    def snr_for_slot(self, slot: int) -> ChannelRealization:
+        """Advance the process to ``slot`` and return its realization.
+
+        Slots must be queried in non-decreasing order; repeated queries for
+        the same slot return the same realization.
+        """
+        if slot > self._last_slot:
+            steps = min(slot - self._last_slot, 1000)
+            innovation_sigma = self.shadow_sigma_db * np.sqrt(
+                1.0 - self.correlation ** 2
+            )
+            for _ in range(steps):
+                self._shadow_db = (
+                    self.correlation * self._shadow_db
+                    + float(self.rng.normal(0.0, innovation_sigma))
+                )
+            if self._fade_until_slot < slot:
+                # Bernoulli fade arrival per queried slot.
+                if float(self.rng.random()) < self.fade_probability * (
+                    slot - self._last_slot
+                ):
+                    self._fade_until_slot = slot + self.fade_duration_slots
+            self._last_slot = slot
+        snr = self.mean_snr_db + self._shadow_db
+        if slot <= self._fade_until_slot:
+            snr -= self.fade_depth_db
+        return ChannelRealization(snr_db=snr)

@@ -1,0 +1,250 @@
+"""LDPC forward error correction.
+
+5G NR protects transport blocks with LDPC codes (3GPP TS 38.212). This
+module implements a regular LDPC code with:
+
+* deterministic, seeded construction of a (dv, dc)-regular parity-check
+  matrix (configuration-model graph with double-edge repair),
+* systematic encoding via GF(2) Gaussian elimination, and
+* vectorized normalized-min-sum belief-propagation decoding over LLRs.
+
+The decoder's iteration count is a first-class knob: the live-upgrade
+experiment (paper Fig 11) emulates "a PHY with better FEC" as a secondary
+PHY configured with more decoding iterations, which measurably lowers the
+block error rate near the decoding threshold.
+
+Chase-combining HARQ (:mod:`repro.phy.harq`) simply sums received LLRs
+across (re)transmissions before calling :meth:`LdpcCode.decode`, so the
+retransmission gain is real, and a migrated-away HARQ buffer produces a
+real decoding penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LdpcDecodeResult:
+    """Outcome of one belief-propagation decode."""
+
+    #: Hard-decision bits for the information positions (length k).
+    info_bits: np.ndarray
+    #: True if the decoder converged to a valid codeword (zero syndrome).
+    parity_ok: bool
+    #: Iterations actually run (early stop on convergence).
+    iterations_used: int
+
+
+def _build_regular_graph(
+    n: int, dv: int, dc: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Build a (dv, dc)-regular bipartite graph as a check-to-variable index matrix.
+
+    Returns an (m, dc) integer array where row j lists the variable nodes
+    adjacent to check node j. Double edges are repaired by re-shuffling the
+    offending stubs; regular codes at these sizes repair within a few passes.
+    """
+    if (n * dv) % dc != 0:
+        raise ValueError(f"n*dv must be divisible by dc (n={n}, dv={dv}, dc={dc})")
+    m = n * dv // dc
+    stubs = np.repeat(np.arange(n), dv)
+    for _ in range(200):
+        rng.shuffle(stubs)
+        adjacency = stubs.reshape(m, dc)
+        # Detect rows with duplicate variable nodes.
+        sorted_rows = np.sort(adjacency, axis=1)
+        has_dup = (sorted_rows[:, 1:] == sorted_rows[:, :-1]).any(axis=1)
+        if not has_dup.any():
+            return adjacency
+        # Re-shuffle only the stubs of the duplicate rows together with a
+        # random batch of clean stubs so the repair can make progress.
+        dup_rows = np.where(has_dup)[0]
+        dup_slots = (dup_rows[:, None] * dc + np.arange(dc)).ravel()
+        n_extra = min(len(stubs) - len(dup_slots), len(dup_slots) + dc)
+        clean_slots = rng.choice(
+            np.setdiff1d(np.arange(len(stubs)), dup_slots),
+            size=n_extra,
+            replace=False,
+        )
+        mix = np.concatenate([dup_slots, clean_slots])
+        shuffled = stubs[mix]
+        rng.shuffle(shuffled)
+        stubs[mix] = shuffled
+    raise RuntimeError("failed to build a simple regular graph; try another seed")
+
+
+def _gf2_systemize(h: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-reduce H over GF(2) into [A | I] form via column pivoting.
+
+    Returns ``(h_reduced, parity_cols, info_cols)`` where ``parity_cols``
+    are the pivot columns (one per check) and ``info_cols`` the rest.
+    Raises if H is rank-deficient (caller retries with a new graph seed).
+    """
+    h = h.copy() % 2
+    m, n = h.shape
+    parity_cols = []
+    used = np.zeros(n, dtype=bool)
+    for row in range(m):
+        pivot_col = -1
+        for col in range(n):
+            if not used[col] and h[row, col]:
+                pivot_col = col
+                break
+        if pivot_col < 0:
+            raise np.linalg.LinAlgError("parity-check matrix is rank deficient")
+        used[pivot_col] = True
+        parity_cols.append(pivot_col)
+        # Eliminate this column from all other rows.
+        others = h[:, pivot_col].astype(bool)
+        others[row] = False
+        h[others] ^= h[row]
+    info_cols = np.array([c for c in range(n) if not used[c]], dtype=np.int64)
+    return h, np.array(parity_cols, dtype=np.int64), info_cols
+
+
+class LdpcCode:
+    """A (dv, dc)-regular LDPC code with systematic encoding and min-sum decoding.
+
+    Parameters
+    ----------
+    n:
+        Codeword length in bits. Default 648 (a standard short-block size).
+    dv, dc:
+        Variable/check node degrees; (3, 6) gives rate 1/2.
+    seed:
+        Seed for the deterministic graph construction.
+    normalization:
+        Normalized-min-sum scaling factor.
+    """
+
+    def __init__(
+        self,
+        n: int = 648,
+        dv: int = 3,
+        dc: int = 6,
+        seed: int = 7,
+        normalization: float = 0.8,
+    ) -> None:
+        self.n = n
+        self.dv = dv
+        self.dc = dc
+        self.normalization = normalization
+        rng = np.random.default_rng(seed)
+        for attempt in range(50):
+            self.chk_to_var = _build_regular_graph(n, dv, dc, rng)
+            self.m = self.chk_to_var.shape[0]
+            h = np.zeros((self.m, n), dtype=np.uint8)
+            rows = np.repeat(np.arange(self.m), dc)
+            h[rows, self.chk_to_var.ravel()] = 1
+            try:
+                h_red, parity_cols, info_cols = _gf2_systemize(h)
+            except np.linalg.LinAlgError:
+                continue
+            self._h = h
+            self._parity_cols = parity_cols
+            self._info_cols = info_cols
+            # For parity computation: h_red restricted to info columns gives
+            # parity[j] = sum_i h_red[j, info_cols[i]] * u[i] (mod 2).
+            self._parity_gen = h_red[:, info_cols].astype(np.uint8)
+            break
+        else:
+            raise RuntimeError("could not construct a full-rank LDPC code")
+        self.k = len(self._info_cols)
+        # Flat edge indexing for the decoder.
+        self._edge_var = self.chk_to_var.ravel()
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode ``k`` information bits into an ``n``-bit codeword."""
+        info_bits = np.asarray(info_bits, dtype=np.uint8)
+        if info_bits.shape != (self.k,):
+            raise ValueError(f"expected {self.k} info bits, got {info_bits.shape}")
+        parity = (self._parity_gen @ info_bits) % 2
+        codeword = np.zeros(self.n, dtype=np.uint8)
+        codeword[self._info_cols] = info_bits
+        codeword[self._parity_cols] = parity
+        return codeword
+
+    def extract_info(self, codeword: np.ndarray) -> np.ndarray:
+        """Pull the information bits out of a codeword."""
+        return np.asarray(codeword, dtype=np.uint8)[self._info_cols]
+
+    def syndrome_ok(self, hard_bits: np.ndarray) -> bool:
+        """True if ``hard_bits`` satisfies all parity checks."""
+        return not ((self._h @ hard_bits) % 2).any()
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, llr: np.ndarray, max_iterations: int = 8) -> LdpcDecodeResult:
+        """Normalized-min-sum BP decode of channel LLRs.
+
+        LLR convention: positive LLR favours bit 0.
+        """
+        llr = np.asarray(llr, dtype=np.float64)
+        if llr.shape != (self.n,):
+            raise ValueError(f"expected {self.n} LLRs, got {llr.shape}")
+        m, dc = self.m, self.dc
+        edge_var = self._edge_var
+        c2v = np.zeros((m, dc), dtype=np.float64)
+        hard = (llr < 0).astype(np.uint8)
+        iterations = 0
+        if self.syndrome_ok(hard):
+            info = np.zeros(self.n, dtype=np.uint8)
+            info[:] = hard
+            return LdpcDecodeResult(info[self._info_cols], True, 0)
+        for iterations in range(1, max_iterations + 1):
+            # Variable-node totals: channel LLR + sum of incoming messages.
+            totals = llr + np.bincount(
+                edge_var, weights=c2v.ravel(), minlength=self.n
+            )
+            v2c = totals[edge_var].reshape(m, dc) - c2v
+            # Check-node update (normalized min-sum).
+            signs = np.sign(v2c)
+            signs[signs == 0] = 1.0
+            row_sign = signs.prod(axis=1, keepdims=True)
+            magnitude = np.abs(v2c)
+            order = np.argsort(magnitude, axis=1)
+            min1 = magnitude[np.arange(m), order[:, 0]]
+            min2 = magnitude[np.arange(m), order[:, 1]]
+            out_mag = np.broadcast_to(min1[:, None], (m, dc)).copy()
+            out_mag[np.arange(m), order[:, 0]] = min2
+            c2v = self.normalization * row_sign * signs * out_mag
+            # Hard decision + early stop.
+            totals = llr + np.bincount(
+                edge_var, weights=c2v.ravel(), minlength=self.n
+            )
+            hard = (totals < 0).astype(np.uint8)
+            if self.syndrome_ok(hard):
+                return LdpcDecodeResult(hard[self._info_cols], True, iterations)
+        return LdpcDecodeResult(hard[self._info_cols], False, iterations)
+
+    @property
+    def rate(self) -> float:
+        """Code rate k/n."""
+        return self.k / self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LdpcCode n={self.n} k={self.k} ({self.dv},{self.dc})-regular>"
+
+
+#: Process-wide cache of constructed codes (construction costs ~100 ms).
+_CODE_CACHE: dict = {}
+
+
+def get_code(
+    n: int = 648, dv: int = 3, dc: int = 6, seed: int = 7
+) -> LdpcCode:
+    """Return a cached :class:`LdpcCode` for the given parameters."""
+    key = (n, dv, dc, seed)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        code = LdpcCode(n=n, dv=dv, dc=dc, seed=seed)
+        _CODE_CACHE[key] = code
+    return code

@@ -1,0 +1,132 @@
+"""QAM modulation and soft demodulation.
+
+Gray-mapped BPSK/QPSK/16-QAM/64-QAM with unit average symbol energy, plus
+max-log LLR soft demodulation. The L2's MCS selection (driven by reported
+SNR) picks the modulation order; the PHY's decoder consumes the LLRs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+import numpy as np
+
+
+class Modulation(enum.IntEnum):
+    """Modulation orders used by the MAC's MCS table."""
+
+    BPSK = 1
+    QPSK = 2
+    QAM16 = 4
+    QAM64 = 6
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return int(self.value)
+
+
+def _gray_pam_levels(bits: int) -> np.ndarray:
+    """Amplitude levels of a Gray-coded 2^bits-PAM, indexed by Gray label.
+
+    ``levels[label]`` is the (unnormalized) amplitude transmitted for the
+    per-axis bit group ``label``.
+    """
+    count = 1 << bits
+    # Natural binary order of amplitudes: -(count-1), ..., -1, 1, ..., count-1.
+    amplitudes = 2 * np.arange(count) - (count - 1)
+    levels = np.empty(count)
+    for position, amplitude in enumerate(amplitudes):
+        gray = position ^ (position >> 1)
+        levels[gray] = amplitude
+    return levels
+
+
+# Per-axis Gray levels and normalization for each modulation.
+_PAM_LEVELS: Dict[Modulation, np.ndarray] = {
+    Modulation.QPSK: _gray_pam_levels(1),
+    Modulation.QAM16: _gray_pam_levels(2),
+    Modulation.QAM64: _gray_pam_levels(3),
+}
+_NORMS: Dict[Modulation, float] = {
+    Modulation.BPSK: 1.0,
+    Modulation.QPSK: np.sqrt(2.0),
+    Modulation.QAM16: np.sqrt(10.0),
+    Modulation.QAM64: np.sqrt(42.0),
+}
+
+
+def _bits_to_labels(bits: np.ndarray, width: int) -> np.ndarray:
+    """Group a bit array into integer labels of ``width`` bits (MSB first)."""
+    grouped = bits.reshape(-1, width)
+    weights = 1 << np.arange(width - 1, -1, -1)
+    return (grouped * weights).sum(axis=1)
+
+
+def modulate(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Map bits to unit-energy complex symbols.
+
+    The bit count must be a multiple of ``bits_per_symbol``. For QAM, the
+    first half of each symbol's bits selects the I axis, the second half
+    the Q axis (both Gray-coded).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    bps = modulation.bits_per_symbol
+    if len(bits) % bps != 0:
+        raise ValueError(f"bit count {len(bits)} not a multiple of {bps}")
+    norm = _NORMS[modulation]
+    if modulation is Modulation.BPSK:
+        return ((1 - 2 * bits.astype(np.float64)) / norm).astype(np.complex128)
+    axis_bits = bps // 2
+    labels = _bits_to_labels(bits, bps)
+    i_labels = labels >> axis_bits
+    q_labels = labels & ((1 << axis_bits) - 1)
+    levels = _PAM_LEVELS[modulation]
+    symbols = (levels[i_labels] + 1j * levels[q_labels]) / norm
+    return symbols
+
+
+def _pam_llrs(y: np.ndarray, axis_bits: int, levels: np.ndarray, noise_var: float) -> np.ndarray:
+    """Max-log LLRs for the per-axis PAM component.
+
+    Returns an array of shape (len(y), axis_bits): LLR per bit, MSB first.
+    Positive LLR favours bit 0.
+    """
+    count = 1 << axis_bits
+    labels = np.arange(count)
+    # Squared distance from each observation to each candidate level.
+    dist = (y[:, None] - levels[None, :]) ** 2
+    llrs = np.empty((len(y), axis_bits))
+    for bit_index in range(axis_bits):
+        mask = (labels >> (axis_bits - 1 - bit_index)) & 1
+        d0 = dist[:, mask == 0].min(axis=1)
+        d1 = dist[:, mask == 1].min(axis=1)
+        llrs[:, bit_index] = (d1 - d0) / noise_var
+    return llrs
+
+
+def demodulate_llr(
+    symbols: np.ndarray, modulation: Modulation, noise_var: float
+) -> np.ndarray:
+    """Soft-demodulate symbols into per-bit LLRs (positive favours 0).
+
+    ``noise_var`` is the complex noise variance (per complex dimension
+    total); the per-axis variance is half of it.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    noise_var = max(noise_var, 1e-12)
+    norm = _NORMS[modulation]
+    if modulation is Modulation.BPSK:
+        return 4.0 * symbols.real / (norm * noise_var) * norm ** 0  # = 4*Re(y)/N0
+    axis_bits = modulation.bits_per_symbol // 2
+    levels = _PAM_LEVELS[modulation] / norm
+    axis_noise = noise_var / 2.0
+    i_llrs = _pam_llrs(symbols.real, axis_bits, levels, 2.0 * axis_noise)
+    q_llrs = _pam_llrs(symbols.imag, axis_bits, levels, 2.0 * axis_noise)
+    interleaved = np.concatenate([i_llrs, q_llrs], axis=1)
+    return interleaved.reshape(-1)
+
+
+def hard_decision(llrs: np.ndarray) -> np.ndarray:
+    """Hard bits from LLRs (positive LLR → 0)."""
+    return (np.asarray(llrs) < 0).astype(np.uint8)

@@ -1,0 +1,161 @@
+"""OFDM numerology and TDD frame structure.
+
+The reproduced cell matches the paper's testbed: 100 MHz bandwidth at
+3.5 GHz with 30 kHz subcarrier spacing (numerology µ = 1, 500 µs slots),
+time-division duplexing with a "DDDSU" slot format — three downlink slots,
+a special/guard slot, then one uplink slot.
+
+The slot/subframe/frame counters defined here are the same fields carried
+in O-RAN fronthaul packet headers, which Slingshot's switch middlebox
+parses to align migration to TTI boundaries (paper §5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sim.units import US
+
+#: Slots per 1 ms subframe for numerology mu=1 (30 kHz SCS).
+SLOTS_PER_SUBFRAME_MU1 = 2
+
+#: Subframes per 10 ms radio frame.
+SUBFRAMES_PER_FRAME = 10
+
+#: Frame number wraps at 1024 (3GPP system frame number is 10 bits).
+MAX_FRAME = 1024
+
+
+class SlotType(enum.Enum):
+    """Link direction of a TDD slot."""
+
+    DOWNLINK = "D"
+    SPECIAL = "S"
+    UPLINK = "U"
+
+
+@dataclass(frozen=True)
+class TddPattern:
+    """A repeating TDD slot-format pattern, e.g. "DDDSU"."""
+
+    pattern: str = "DDDSU"
+
+    def __post_init__(self) -> None:
+        valid = set("DSU")
+        if not self.pattern or any(ch not in valid for ch in self.pattern):
+            raise ValueError(f"invalid TDD pattern {self.pattern!r}")
+
+    def slot_type(self, slot_index: int) -> SlotType:
+        """Slot type for an absolute slot counter."""
+        return SlotType(self.pattern[slot_index % len(self.pattern)])
+
+    @property
+    def period(self) -> int:
+        return len(self.pattern)
+
+    def slots_of_type(self, slot_type: SlotType) -> int:
+        """Number of slots of a type within one pattern period."""
+        return sum(1 for ch in self.pattern if ch == slot_type.value)
+
+
+@dataclass(frozen=True)
+class Numerology:
+    """OFDM numerology parameters."""
+
+    #: 3GPP numerology index; 1 → 30 kHz SCS, 500 µs slots.
+    mu: int = 1
+    #: Channel bandwidth in MHz (display only; PRB count is the real knob).
+    bandwidth_mhz: float = 100.0
+    #: Physical resource blocks available (273 for 100 MHz @ 30 kHz).
+    num_prbs: int = 273
+    #: OFDM symbols per slot (normal cyclic prefix).
+    symbols_per_slot: int = 14
+    #: Subcarriers per PRB.
+    subcarriers_per_prb: int = 12
+
+    @property
+    def slot_duration_ns(self) -> int:
+        """Slot (TTI) duration: 1 ms / 2^mu."""
+        return (1000 * US) >> self.mu
+
+    @property
+    def slots_per_subframe(self) -> int:
+        return 1 << self.mu
+
+    @property
+    def slots_per_frame(self) -> int:
+        return SUBFRAMES_PER_FRAME * self.slots_per_subframe
+
+    def resource_elements_per_slot(self, prbs: int) -> int:
+        """Modulation symbols carried by ``prbs`` PRBs in one slot.
+
+        Uses 12 of 14 symbols for data (2 reserved for DMRS/control), the
+        standard first-order overhead assumption.
+        """
+        data_symbols = self.symbols_per_slot - 2
+        return prbs * self.subcarriers_per_prb * data_symbols
+
+
+@dataclass(frozen=True)
+class SlotAddress:
+    """(frame, subframe, slot) triple — the timing fields in O-RAN headers."""
+
+    frame: int
+    subframe: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"{self.frame}.{self.subframe}.{self.slot}"
+
+
+class SlotClock:
+    """Maps simulated time to slot counters and O-RAN header fields."""
+
+    def __init__(self, numerology: Numerology, epoch_ns: int = 0) -> None:
+        self.numerology = numerology
+        self.epoch_ns = epoch_ns
+
+    @property
+    def slot_duration_ns(self) -> int:
+        return self.numerology.slot_duration_ns
+
+    def slot_at(self, time_ns: int) -> int:
+        """Absolute slot counter containing ``time_ns``."""
+        return (time_ns - self.epoch_ns) // self.slot_duration_ns
+
+    def slot_start(self, slot: int) -> int:
+        """Start time of an absolute slot."""
+        return self.epoch_ns + slot * self.slot_duration_ns
+
+    def address_of(self, slot: int) -> SlotAddress:
+        """O-RAN (frame, subframe, slot-in-subframe) address of a slot."""
+        per_subframe = self.numerology.slots_per_subframe
+        per_frame = self.numerology.slots_per_frame
+        frame = (slot // per_frame) % MAX_FRAME
+        within = slot % per_frame
+        return SlotAddress(
+            frame=frame,
+            subframe=within // per_subframe,
+            slot=within % per_subframe,
+        )
+
+    def absolute_from_address(self, address: SlotAddress, near_slot: int) -> int:
+        """Invert :meth:`address_of` near a reference absolute slot.
+
+        O-RAN headers carry only the wrapped (frame, subframe, slot); the
+        switch resolves them against its notion of "around now". The
+        nearest absolute slot with the given address is returned.
+        """
+        per_subframe = self.numerology.slots_per_subframe
+        per_frame = self.numerology.slots_per_frame
+        wrap = MAX_FRAME * per_frame
+        within = (
+            address.frame * per_frame
+            + address.subframe * per_subframe
+            + address.slot
+        )
+        base = (near_slot // wrap) * wrap
+        candidates = [base - wrap + within, base + within, base + wrap + within]
+        return min(candidates, key=lambda s: abs(s - near_slot))

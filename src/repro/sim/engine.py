@@ -1,0 +1,207 @@
+"""Event-driven simulator core.
+
+A :class:`Simulator` owns a priority queue of timestamped callbacks. Every
+node in the simulated deployment (RU, switch, PHY servers, L2 server, UEs,
+core network) schedules work on the same simulator, so causality across the
+whole system is expressed purely in event time.
+
+Design notes
+------------
+* Time is an ``int`` number of nanoseconds (see :mod:`repro.sim.units`).
+* Events at the same timestamp fire in scheduling order (FIFO), which makes
+  traces deterministic and reproducible.
+* Cancellation is O(1): cancelled events stay in the heap but are skipped
+  when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the simulator (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry; ordering is (time, seq) so ties are FIFO."""
+
+    time: int
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.at`. Calling :meth:`cancel` before the event fires
+    prevents the callback from running.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent; safe after firing."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired or cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = self.label or getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<EventHandle t={self.time} {name} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-nanosecond clock."""
+
+    def __init__(self, start_time: int = 0) -> None:
+        self._now = start_time
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.at(self._now + delay, callback, *args, label=label)
+
+    def at(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} ns; clock is already at {self._now} ns"
+            )
+        handle = EventHandle(time, callback, args, label=label)
+        entry = _QueueEntry(time=time, seq=next(self._seq), handle=handle)
+        heapq.heappush(self._queue, entry)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending event. Returns False if queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run_until(self, end_time: int) -> None:
+        """Run all events with timestamps <= ``end_time``; clock ends at ``end_time``.
+
+        Events scheduled exactly at ``end_time`` do fire.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is in the past (now={self._now})"
+            )
+        self._running = True
+        try:
+            while self._queue and self._running:
+                head_time = self._peek_time()
+                if head_time is None or head_time > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if self._now < end_time:
+            self._now = end_time
+
+    def run_for(self, duration: int) -> None:
+        """Run the simulation for ``duration`` ns of simulated time."""
+        self.run_until(self._now + duration)
+
+    def run(self) -> None:
+        """Run until the event queue drains completely."""
+        self._running = True
+        try:
+            while self._queue and self._running:
+                self.step()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop a ``run_until``/``run`` loop after the current event returns."""
+        self._running = False
+
+    def _peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, skipping cancelled entries."""
+        while self._queue:
+            entry = self._queue[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return entry.time
+        return None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self._now}ns pending={self.pending_events}>"

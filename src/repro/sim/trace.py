@@ -1,0 +1,75 @@
+"""Structured trace recording.
+
+Components emit :class:`TraceEvent` records into a shared
+:class:`TraceRecorder`; the experiment harnesses query the recorder to build
+the time series behind each figure (e.g. per-10 ms throughput bins, ping
+samples, failure-detection timestamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a timestamp, a category, and free-form fields."""
+
+    time: int
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only store of trace events with category indexing."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._by_category: Dict[str, List[TraceEvent]] = {}
+        self.enabled = True
+
+    def record(self, time: int, category: str, **fields: Any) -> None:
+        """Append an event; no-op when the recorder is disabled."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time=time, category=category, fields=fields)
+        self._events.append(event)
+        self._by_category.setdefault(category, []).append(event)
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """All events, or those of one category, in emission order."""
+        if category is None:
+            return list(self._events)
+        return list(self._by_category.get(category, []))
+
+    def iter_events(self, category: str) -> Iterator[TraceEvent]:
+        """Iterate events of one category without copying."""
+        return iter(self._by_category.get(category, []))
+
+    def count(self, category: str) -> int:
+        """Number of events recorded under ``category``."""
+        return len(self._by_category.get(category, []))
+
+    def categories(self) -> List[str]:
+        """Sorted list of categories seen so far."""
+        return sorted(self._by_category)
+
+    def last(self, category: str) -> Optional[TraceEvent]:
+        """Most recent event of a category, or None."""
+        events = self._by_category.get(category)
+        return events[-1] if events else None
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+        self._by_category.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

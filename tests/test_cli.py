@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.experiment == "fig8"
+        assert args.rates == [1.0, 10.0, 20.0, 50.0]
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table2", "--duration", "5", "--rates", "1", "20", "--quick"]
+        )
+        assert args.duration == 5.0
+        assert args.rates == [1.0, 20.0]
+        assert args.quick
+
+
+class TestExecution:
+    def test_fig3_runs_end_to_end(self, capsys):
+        assert main(["fig3", "--runs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "VM pause time" in out
+        assert "crashed in 100%" in out
+
+    def test_fig12_quick_runs(self, capsys):
+        assert main(["fig12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "one-way latency added by Orion" in out
+        assert "3.4 Gbps" in out
+
+    def test_every_experiment_is_wired(self):
+        """Each registry entry references a callable and a description."""
+        for name, (runner, description, _) in EXPERIMENTS.items():
+            assert callable(runner), name
+            assert description, name

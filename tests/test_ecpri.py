@@ -1,0 +1,92 @@
+"""Round-trip and property tests for the eCPRI/O-RAN header codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fronthaul.ecpri import (
+    ECPRI_TYPE_IQ_DATA,
+    ECPRI_TYPE_RT_CONTROL,
+    HEADER_BYTES,
+    SECTION_TYPE_DL,
+    EcpriCodecError,
+    decode_header,
+    encode_header,
+    parse_timing_fields,
+)
+from repro.phy.numerology import SlotAddress
+
+
+class TestRoundTrip:
+    def test_simple_header(self):
+        encoded = encode_header(
+            ECPRI_TYPE_RT_CONTROL, 128, eaxc_id=7, sequence=42,
+            address=SlotAddress(frame=513, subframe=9, slot=1),
+            symbol=13, section_type=SECTION_TYPE_DL,
+        )
+        assert len(encoded) == HEADER_BYTES
+        header = decode_header(encoded)
+        assert header.message_type == ECPRI_TYPE_RT_CONTROL
+        assert header.payload_bytes == 128
+        assert header.eaxc_id == 7
+        assert header.sequence == 42
+        assert header.address == SlotAddress(frame=513, subframe=9, slot=1)
+        assert header.symbol == 13
+        assert header.section_type == SECTION_TYPE_DL
+
+    @given(
+        frame=st.integers(0, 1023),
+        subframe=st.integers(0, 9),
+        slot=st.integers(0, 63),
+        symbol=st.integers(0, 13),
+        eaxc=st.integers(0, 0xFFFF),
+        seq=st.integers(0, 255),
+        payload=st.integers(0, 0xFFFF),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_timing_fields_roundtrip(
+        self, frame, subframe, slot, symbol, eaxc, seq, payload
+    ):
+        """The timing fields the switch parses must round-trip exactly
+        for every legal value — migration alignment depends on them."""
+        address = SlotAddress(frame=frame, subframe=subframe, slot=slot)
+        encoded = encode_header(
+            ECPRI_TYPE_IQ_DATA, payload, eaxc, seq, address, symbol
+        )
+        header = decode_header(encoded)
+        assert header.address == address
+        assert header.symbol == symbol
+        assert header.eaxc_id == eaxc
+        assert header.sequence == seq
+        assert header.payload_bytes == payload
+        assert parse_timing_fields(encoded) == (frame, subframe, slot)
+
+
+class TestValidation:
+    def test_truncated_rejected(self):
+        with pytest.raises(EcpriCodecError):
+            decode_header(b"\x10\x00\x00")
+
+    def test_bad_revision_rejected(self):
+        encoded = bytearray(
+            encode_header(0, 0, 0, 0, SlotAddress(0, 0, 0))
+        )
+        encoded[0] = 0x20  # Revision 2.
+        with pytest.raises(EcpriCodecError):
+            decode_header(bytes(encoded))
+
+    @pytest.mark.parametrize(
+        "address",
+        [
+            SlotAddress(frame=1024, subframe=0, slot=0),
+            SlotAddress(frame=0, subframe=10, slot=0),
+            SlotAddress(frame=0, subframe=0, slot=64),
+        ],
+    )
+    def test_out_of_range_fields_rejected(self, address):
+        with pytest.raises(EcpriCodecError):
+            encode_header(0, 0, 0, 0, address)
+
+    def test_symbol_out_of_range_rejected(self):
+        with pytest.raises(EcpriCodecError):
+            encode_header(0, 0, 0, 0, SlotAddress(0, 0, 0), symbol=16)

@@ -1,0 +1,107 @@
+"""Tests for the in-switch failure detector (§5.2)."""
+
+import pytest
+
+from repro.core.failure_detector import DetectorConfig, FailureDetector
+from repro.sim.units import US
+
+
+class TestDetectorConfig:
+    def test_paper_defaults(self):
+        config = DetectorConfig()
+        assert config.timeout_ns == 450 * US
+        assert config.ticks_per_timeout == 50
+        assert config.precision_ns == 9 * US
+
+    def test_pktgen_rate_is_negligible(self):
+        """~111k pps per monitored PHY at T=450us/n=50 — trivially small
+        against a multi-Tbps switch."""
+        config = DetectorConfig()
+        assert config.pktgen_rate_pps < 200_000
+
+
+class TestDetection:
+    def _detector(self, **kwargs):
+        detections = []
+        detector = FailureDetector(
+            DetectorConfig(**kwargs),
+            notify=lambda phy, t: detections.append((phy, t)),
+        )
+        return detector, detections
+
+    def test_counter_saturates_after_n_ticks(self):
+        detector, detections = self._detector()
+        detector.set_monitor(7, True)
+        for tick in range(49):
+            assert detector.on_timer_tick(tick * 9000) == []
+        assert detector.on_timer_tick(49 * 9000) == [7]
+        assert detections == [(7, 49 * 9000)]
+
+    def test_heartbeat_resets_counter(self):
+        detector, detections = self._detector()
+        detector.set_monitor(1, True)
+        for tick in range(200):
+            detector.on_timer_tick(tick)
+            if tick % 20 == 0:  # Heartbeat well inside the timeout.
+                detector.on_heartbeat(1)
+        assert detections == []
+
+    def test_unmonitored_phy_never_reported(self):
+        detector, detections = self._detector()
+        for tick in range(200):
+            detector.on_timer_tick(tick)
+        assert detections == []
+
+    def test_no_duplicate_notifications(self):
+        detector, detections = self._detector()
+        detector.set_monitor(3, True)
+        for tick in range(300):
+            detector.on_timer_tick(tick)
+        assert len(detections) == 1
+
+    def test_rearm_after_detection(self):
+        detector, detections = self._detector()
+        detector.set_monitor(3, True)
+        for tick in range(60):
+            detector.on_timer_tick(tick)
+        detector.set_monitor(3, True)  # Re-arm.
+        assert detector.stats.false_positives_rearmed == 1
+        for tick in range(60, 120):
+            detector.on_timer_tick(tick)
+        assert len(detections) == 2
+
+    def test_disarm_stops_monitoring(self):
+        detector, detections = self._detector()
+        detector.set_monitor(3, True)
+        detector.set_monitor(3, False)
+        for tick in range(100):
+            detector.on_timer_tick(tick)
+        assert detections == []
+
+    def test_multiple_phys_independent(self):
+        detector, detections = self._detector()
+        detector.set_monitor(1, True)
+        detector.set_monitor(2, True)
+        for tick in range(100):
+            detector.on_timer_tick(tick)
+            detector.on_heartbeat(1)  # Only PHY 1 stays healthy.
+        assert [phy for phy, _ in detections] == [2]
+
+    def test_detection_latency_bounded_by_t_plus_precision(self):
+        """With heartbeats stopping at t0, detection must land within
+        T + one tick of t0 (the §8.2 timing argument)."""
+        detector, detections = self._detector()
+        detector.set_monitor(0, True)
+        config = detector.config
+        period = config.tick_period_ns
+        last_heartbeat = 12_345
+        time = 0
+        tick = 0
+        while not detections and time < 10 * config.timeout_ns:
+            time = tick * period
+            detector.on_timer_tick(time)
+            if time <= last_heartbeat:
+                detector.on_heartbeat(0)
+            tick += 1
+        latency = detections[0][1] - last_heartbeat
+        assert latency <= config.timeout_ns + config.precision_ns

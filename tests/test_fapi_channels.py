@@ -1,0 +1,73 @@
+"""Tests for FAPI channel models (SHM)."""
+
+import pytest
+
+from repro.fapi.channels import DuplexShmChannel, ShmChannel
+from repro.fapi.messages import SlotIndication, UlTtiRequest
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive_fapi(self, message, channel):
+        self.received.append((self.sim.now, message, channel))
+
+
+class TestShmChannel:
+    def test_delivery_after_latency(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        channel = ShmChannel(sim, sink, latency_ns=1 * US)
+        message = SlotIndication(cell_id=0, slot=5)
+        channel.send(message)
+        sim.run()
+        time, delivered, via = sink.received[0]
+        assert time == 1 * US
+        assert delivered is message
+        assert via is channel
+
+    def test_order_preserved(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        channel = ShmChannel(sim, sink, latency_ns=1 * US)
+        for slot in range(5):
+            channel.send(SlotIndication(cell_id=0, slot=slot))
+        sim.run()
+        assert [m.slot for _, m, _ in sink.received] == [0, 1, 2, 3, 4]
+
+    def test_unconnected_channel_raises(self):
+        sim = Simulator()
+        channel = ShmChannel(sim, None)
+        with pytest.raises(RuntimeError):
+            channel.send(SlotIndication(cell_id=0, slot=0))
+
+    def test_two_phase_wiring(self):
+        sim = Simulator()
+        channel = ShmChannel(sim, None)
+        sink = Sink(sim)
+        channel.connect(sink)
+        channel.send(SlotIndication(cell_id=0, slot=1))
+        sim.run()
+        assert len(sink.received) == 1
+
+    def test_counter(self):
+        sim = Simulator()
+        channel = ShmChannel(sim, Sink(sim))
+        channel.send(SlotIndication(cell_id=0, slot=0))
+        channel.send(SlotIndication(cell_id=0, slot=1))
+        assert channel.messages_sent == 2
+
+    def test_duplex_pairs(self):
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        duplex = DuplexShmChannel(sim, latency_ns=2 * US)
+        duplex.connect(a, b)
+        duplex.a_to_b.send(UlTtiRequest(cell_id=0, slot=3, pdus=[]))
+        duplex.b_to_a.send(SlotIndication(cell_id=0, slot=3))
+        sim.run()
+        assert isinstance(b.received[0][1], UlTtiRequest)
+        assert isinstance(a.received[0][1], SlotIndication)

@@ -1,0 +1,225 @@
+"""Tests for the in-switch fronthaul middlebox (§5)."""
+
+import pytest
+
+from repro.core.commands import FailureNotification, MigrateOnSlot, SetMonitor, SLINGSHOT_CMD_BYTES
+from repro.core.fh_middlebox import FronthaulMiddlebox, MiddleboxConfig
+from repro.fronthaul.oran import CplaneMessage, UplaneUplink
+from repro.net.addresses import MacAddress
+from repro.net.packet import EtherType, EthernetFrame
+from repro.net.switch import Switch
+from repro.phy.channel import ChannelRealization
+from repro.phy.modulation import Modulation
+from repro.phy.numerology import Numerology, SlotClock
+from repro.phy.transport import LinkDirection, TransportBlock
+from repro.sim.engine import Simulator
+
+RU_MAC = MacAddress(0x10)
+PHY0_MAC = MacAddress(0x20)
+PHY1_MAC = MacAddress(0x21)
+ORION_MAC = MacAddress(0x30)
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive_frame(self, frame, ingress):
+        self.received.append((self.sim.now, frame))
+
+
+def build_fabric():
+    """Switch + middlebox with an RU port, two PHY ports, an Orion port."""
+    sim = Simulator()
+    switch = Switch(sim, pipeline_latency_ns=0)
+    mbox = FronthaulMiddlebox(sim)
+    mbox.install_on(switch)
+    nodes = {}
+    for name, mac in (("ru", RU_MAC), ("phy0", PHY0_MAC), ("phy1", PHY1_MAC), ("orion", ORION_MAC)):
+        sink = Sink(sim)
+        port = switch.attach(sink, latency_ns=0, name=name)
+        nodes[name] = (sink, port)
+    mbox.register_ru(0, RU_MAC, nodes["ru"][1].number, initial_phy=0)
+    mbox.register_phy(0, PHY0_MAC, nodes["phy0"][1].number)
+    mbox.register_phy(1, PHY1_MAC, nodes["phy1"][1].number)
+    mbox.register_l2_host(ORION_MAC, nodes["orion"][1].number)
+    mbox.set_notification_target(ORION_MAC, nodes["orion"][1].number)
+    return sim, switch, mbox, nodes
+
+
+def ul_frame(abs_slot, src=RU_MAC):
+    clock = SlotClock(Numerology())
+    block = TransportBlock(
+        ue_id=1, direction=LinkDirection.UPLINK, harq_process=0,
+        modulation=Modulation.QPSK, prbs=10, data=[], size_bytes=100,
+    )
+    payload = UplaneUplink(
+        ru_id=0, address=clock.address_of(abs_slot), abs_slot=abs_slot,
+        block=block, realization=ChannelRealization(15.0),
+    )
+    return EthernetFrame(
+        src=src, dst=MacAddress(0xFFFF), ethertype=EtherType.ECPRI,
+        payload=payload, wire_bytes=200,
+    )
+
+
+def dl_frame(abs_slot, src_mac=PHY0_MAC, src_phy=0):
+    clock = SlotClock(Numerology())
+    payload = CplaneMessage(
+        ru_id=0, address=clock.address_of(abs_slot), abs_slot=abs_slot,
+        source_phy_id=src_phy,
+    )
+    return EthernetFrame(
+        src=src_mac, dst=MacAddress(0), ethertype=EtherType.ECPRI,
+        payload=payload, wire_bytes=100,
+    )
+
+
+def command_frame(payload):
+    return EthernetFrame(
+        src=ORION_MAC, dst=MacAddress(0), ethertype=EtherType.SLINGSHOT,
+        payload=payload, wire_bytes=SLINGSHOT_CMD_BYTES,
+    )
+
+
+class TestSteering:
+    def test_uplink_steered_to_initial_primary(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(ul_frame(10), in_port=nodes["ru"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["phy0"][0].received) == 1
+        assert nodes["phy0"][0].received[0][1].dst == PHY0_MAC
+        assert len(nodes["phy1"][0].received) == 0
+
+    def test_downlink_from_active_forwarded_to_ru(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(dl_frame(10), in_port=nodes["phy0"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["ru"][0].received) == 1
+        assert nodes["ru"][0].received[0][1].dst == RU_MAC
+
+    def test_downlink_from_standby_filtered(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(
+            dl_frame(10, src_mac=PHY1_MAC, src_phy=1),
+            in_port=nodes["phy1"][1].number,
+        )
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["ru"][0].received) == 0
+        assert mbox.stats.dl_filtered == 1
+
+    def test_filtered_standby_still_counts_as_heartbeat(self):
+        sim, switch, mbox, nodes = build_fabric()
+        mbox.detector.set_monitor(1, True)
+        mbox.detector.counters.write(1, 10)
+        # inject() runs the pipeline synchronously; the heartbeat reset
+        # happens before any timer tick can fire.
+        switch.inject(
+            dl_frame(10, src_mac=PHY1_MAC, src_phy=1),
+            in_port=nodes["phy1"][1].number,
+        )
+        assert mbox.detector.counters.read(1) == 0
+
+    def test_unknown_source_dropped(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(ul_frame(10, src=MacAddress(0x99)), in_port=9)
+        sim.run_until(sim.now + 10_000)
+        assert mbox.stats.unknown_dropped == 1
+
+
+class TestMigrateOnSlot:
+    def test_packets_before_boundary_stay_with_primary(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(command_frame(MigrateOnSlot(ru_id=0, dest_phy_id=1, slot=100)))
+        sim.run_until(sim.now + 10_000)
+        switch.inject(ul_frame(99), in_port=nodes["ru"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["phy0"][0].received) == 1
+        assert len(nodes["phy1"][0].received) == 0
+
+    def test_boundary_packet_flips_mapping(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(command_frame(MigrateOnSlot(ru_id=0, dest_phy_id=1, slot=100)))
+        sim.run_until(sim.now + 10_000)
+        switch.inject(ul_frame(100), in_port=nodes["ru"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["phy1"][0].received) == 1
+        assert mbox.stats.migrations_executed == 1
+        assert mbox.ru_to_phy.read(0) == 1
+        # Subsequent packets follow the new mapping without a pending request.
+        switch.inject(ul_frame(101), in_port=nodes["ru"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["phy1"][0].received) == 2
+
+    def test_exactly_at_boundary_no_mixed_slot(self):
+        """For any single slot, the RU hears exactly one PHY."""
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(command_frame(MigrateOnSlot(ru_id=0, dest_phy_id=1, slot=100)))
+        sim.run_until(sim.now + 10_000)
+        # Old primary still emits slot 99; new one emits slot 100.
+        switch.inject(dl_frame(99, PHY0_MAC, 0), in_port=nodes["phy0"][1].number)
+        switch.inject(dl_frame(100, PHY0_MAC, 0), in_port=nodes["phy0"][1].number)
+        switch.inject(dl_frame(99, PHY1_MAC, 1), in_port=nodes["phy1"][1].number)
+        switch.inject(dl_frame(100, PHY1_MAC, 1), in_port=nodes["phy1"][1].number)
+        sim.run_until(sim.now + 10_000)
+        per_slot_sources = {}
+        for _, frame in nodes["ru"][0].received:
+            per_slot_sources.setdefault(frame.payload.abs_slot, set()).add(
+                frame.payload.source_phy_id
+            )
+        assert per_slot_sources == {99: {0}, 100: {1}}
+
+    def test_downlink_for_future_boundary_accepted_from_dest(self):
+        """The new primary's C-plane for the boundary slot is emitted
+        *before* any uplink packet of that slot arrives; the pending
+        request must already steer it."""
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(command_frame(MigrateOnSlot(ru_id=0, dest_phy_id=1, slot=100)))
+        sim.run_until(sim.now + 10_000)
+        switch.inject(dl_frame(100, PHY1_MAC, 1), in_port=nodes["phy1"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["ru"][0].received) == 1
+
+    def test_unaligned_mode_flips_immediately(self):
+        sim, switch, mbox, nodes = build_fabric()
+        mbox.config.align_to_tti = False
+        switch.inject(command_frame(MigrateOnSlot(ru_id=0, dest_phy_id=1, slot=10**9)))
+        sim.run_until(sim.now + 10_000)
+        switch.inject(ul_frame(5), in_port=nodes["ru"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["phy1"][0].received) == 1
+
+
+class TestFailureNotificationPath:
+    def test_detection_emits_notification_to_orion(self):
+        sim, switch, mbox, nodes = build_fabric()
+        mbox.detector.set_monitor(0, True)
+        # No heartbeats at all: the pktgen ticks saturate the counter.
+        sim.run_until(mbox.config.detector.timeout_ns * 2)
+        orion_frames = nodes["orion"][0].received
+        assert len(orion_frames) == 1
+        notification = orion_frames[0][1].payload
+        assert isinstance(notification, FailureNotification)
+        assert notification.phy_id == 0
+
+    def test_set_monitor_command_via_packet(self):
+        sim, switch, mbox, nodes = build_fabric()
+        switch.inject(command_frame(SetMonitor(phy_id=1, enabled=True)))
+        sim.run_until(1000)
+        assert mbox.detector.is_monitored(1)
+        switch.inject(command_frame(SetMonitor(phy_id=1, enabled=False)))
+        sim.run_until(2000)
+        assert not mbox.detector.is_monitored(1)
+
+
+class TestL2Fallback:
+    def test_non_fronthaul_traffic_forwarded_by_mac(self):
+        sim, switch, mbox, nodes = build_fabric()
+        frame = EthernetFrame(
+            src=ORION_MAC, dst=PHY1_MAC, ethertype=EtherType.IPV4,
+            payload="udp", wire_bytes=100,
+        )
+        switch.inject(frame, in_port=nodes["orion"][1].number)
+        sim.run_until(sim.now + 10_000)
+        assert len(nodes["phy1"][0].received) == 1

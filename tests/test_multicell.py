@@ -1,0 +1,96 @@
+"""Tests for multi-cell deployments with shared PHY servers.
+
+Each of the two servers simultaneously hosts one cell's primary PHY and
+the other cell's null-FAPI standby — the economical placement the paper
+describes for real deployments (§8).
+"""
+
+import pytest
+
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.multicell import build_dual_cell_deployment
+from repro.sim.units import US, s_to_ns
+
+
+def config(seed=50):
+    return CellConfig(
+        seed=seed,
+        ue_profiles=[UeProfile(ue_id=0, name="UE", mean_snr_db=16.0)],
+    )
+
+
+@pytest.fixture(scope="module")
+def steady():
+    deployment = build_dual_cell_deployment(config(), ues_per_cell=1)
+    deployment.run_for(s_to_ns(0.5))
+    return deployment
+
+
+class TestDualCellSteadyState:
+    def test_both_cells_serve_traffic(self, steady):
+        for site in steady.cells:
+            assert site.ru.stats.slots_with_control > 900
+            assert site.l2.stats.ul_crc_ok > 0
+
+    def test_each_server_hosts_primary_and_standby_work(self, steady):
+        """Both servers do real work (their own cell) AND null slots
+        (the other cell's standby) inside one PHY process."""
+        for node in steady.phy_servers:
+            assert node.phy.cpu.work_slots > 0
+            assert node.phy.cpu.null_slots > 0
+            assert len(node.phy.cells) == 2  # Hosts both cells.
+
+    def test_standby_streams_filtered_per_ru(self, steady):
+        assert steady.middlebox.stats.dl_filtered > 1500
+        for site in steady.cells:
+            assert site.ru.stats.conflicting_source_slots == 0
+
+    def test_no_rlf_anywhere(self, steady):
+        for ue in steady.all_ues():
+            assert ue.stats.rlf_events == 0
+
+
+class TestDualCellFailover:
+    def test_killing_one_server_fails_over_only_its_cell(self):
+        deployment = build_dual_cell_deployment(config(seed=51), ues_per_cell=1)
+        deployment.run_for(s_to_ns(0.5))
+        deployment.kill_phy_at(0, deployment.sim.now + 100 * US)
+        deployment.run_for(s_to_ns(0.5))
+        # Cell 0 (primary was server 0) migrated to server 1.
+        assignment0 = deployment.l2_orion.cells[0]
+        assert assignment0.primary_phy == 1
+        # Cell 1 kept its primary (server 1); only its standby died.
+        assignment1 = deployment.l2_orion.cells[1]
+        assert assignment1.primary_phy == 1
+        # Exactly one migration executed (cell 0's).
+        assert deployment.middlebox.stats.migrations_executed == 1
+        # No UE in either cell disconnected.
+        for ue in deployment.all_ues():
+            assert ue.stats.rlf_events == 0
+            assert ue.attached
+
+    def test_survivor_server_carries_both_cells(self):
+        deployment = build_dual_cell_deployment(config(seed=52), ues_per_cell=1)
+        deployment.run_for(s_to_ns(0.5))
+        deployment.kill_phy_at(0, deployment.sim.now)
+        deployment.run_for(s_to_ns(0.5))
+        survivor = deployment.phy_servers[1].phy
+        decodes_before = survivor.cpu.fec_decodes
+        deployment.run_for(s_to_ns(0.3))
+        # The survivor now decodes uplink for both cells.
+        assert survivor.cpu.fec_decodes > decodes_before
+        served_rus = {cell.ru_id for cell in survivor.cells.values() if cell.started}
+        assert served_rus == {0, 1}
+
+    def test_planned_migration_per_cell_is_independent(self):
+        deployment = build_dual_cell_deployment(config(seed=53), ues_per_cell=1)
+        deployment.run_for(s_to_ns(0.4))
+        deployment.l2_orion.planned_migration(1)
+        deployment.run_for(s_to_ns(0.3))
+        # Cell 1 swapped onto server 0; cell 0 untouched.
+        assert deployment.l2_orion.cells[1].primary_phy == 0
+        assert deployment.l2_orion.cells[0].primary_phy == 0
+        assert deployment.middlebox.ru_to_phy.read(1) == 0
+        assert deployment.middlebox.ru_to_phy.read(0) == 0
+        for ue in deployment.all_ues():
+            assert ue.stats.rlf_events == 0

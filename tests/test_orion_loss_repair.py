@@ -1,0 +1,146 @@
+"""Tests for Orion's transport-loss repair (§6.1).
+
+The inter-Orion UDP transport is stateless; lost datagrams would starve
+the PHY of its mandatory per-slot TTI requests. The PHY-side Orion
+detects slot-sequence gaps and injects null requests so the PHY's FAPI
+contract holds through rare datacenter losses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import build_slingshot_cell
+from repro.core.orion import OrionConfig, OrionDatagram, PhySideOrion
+from repro.fapi.channels import ShmChannel
+from repro.fapi.messages import DlTtiRequest, UlTtiRequest, is_null_request
+from repro.net.addresses import MacAddress
+from repro.net.packet import EtherType, EthernetFrame
+from repro.sim.engine import Simulator
+from repro.sim.units import s_to_ns
+
+
+class MessageSink:
+    def __init__(self):
+        self.messages = []
+
+    def receive_fapi(self, message, channel):
+        self.messages.append(message)
+
+
+def build_orion(sim):
+    orion = PhySideOrion(
+        sim, phy_id=0, mac=MacAddress(0x200),
+        config=OrionConfig(service_base_ns=0, service_per_byte_ns=0.0),
+    )
+    sink = MessageSink()
+    orion.shm_to_phy = ShmChannel(sim, sink, latency_ns=0)
+    return orion, sink
+
+
+def deliver(orion, message):
+    orion.receive_frame(
+        EthernetFrame(
+            src=MacAddress(0x100), dst=orion.mac, ethertype=EtherType.IPV4,
+            payload=OrionDatagram(message=message, phy_id=0, is_response=False),
+            wire_bytes=100,
+        ),
+        ingress=None,
+    )
+
+
+class TestGapRepair:
+    def test_contiguous_slots_need_no_repair(self):
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        for slot in range(5):
+            deliver(orion, UlTtiRequest(cell_id=0, slot=slot, pdus=[]))
+        sim.run()
+        assert orion.nulls_injected == 0
+        assert [m.slot for m in sink.messages] == [0, 1, 2, 3, 4]
+
+    def test_single_lost_slot_repaired_with_null(self):
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        deliver(orion, UlTtiRequest(cell_id=0, slot=10, pdus=[]))
+        deliver(orion, UlTtiRequest(cell_id=0, slot=12, pdus=[]))  # 11 lost.
+        sim.run()
+        assert orion.nulls_injected == 1
+        slots = [m.slot for m in sink.messages]
+        assert slots == [10, 11, 12]
+        assert is_null_request(sink.messages[1])
+
+    def test_burst_loss_repaired_in_order(self):
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        deliver(orion, DlTtiRequest(cell_id=0, slot=0, pdus=[]))
+        deliver(orion, DlTtiRequest(cell_id=0, slot=4, pdus=[]))
+        sim.run()
+        assert [m.slot for m in sink.messages] == [0, 1, 2, 3, 4]
+        assert orion.nulls_injected == 3
+
+    def test_ul_and_dl_sequences_tracked_separately(self):
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        deliver(orion, UlTtiRequest(cell_id=0, slot=0, pdus=[]))
+        deliver(orion, DlTtiRequest(cell_id=0, slot=0, pdus=[]))
+        deliver(orion, UlTtiRequest(cell_id=0, slot=1, pdus=[]))
+        deliver(orion, DlTtiRequest(cell_id=0, slot=1, pdus=[]))
+        sim.run()
+        assert orion.nulls_injected == 0
+
+    def test_cells_tracked_separately(self):
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        deliver(orion, UlTtiRequest(cell_id=0, slot=5, pdus=[]))
+        deliver(orion, UlTtiRequest(cell_id=1, slot=9, pdus=[]))
+        sim.run()
+        assert orion.nulls_injected == 0  # First sighting per cell.
+
+    def test_out_of_order_delivery_not_double_repaired(self):
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        deliver(orion, UlTtiRequest(cell_id=0, slot=5, pdus=[]))
+        deliver(orion, UlTtiRequest(cell_id=0, slot=4, pdus=[]))  # Late.
+        deliver(orion, UlTtiRequest(cell_id=0, slot=6, pdus=[]))
+        sim.run()
+        assert orion.nulls_injected == 0
+
+    def test_repair_burst_bounded(self):
+        """A huge sequence jump (e.g. after a long pause) must not flood
+        the PHY with thousands of nulls."""
+        sim = Simulator()
+        orion, sink = build_orion(sim)
+        deliver(orion, UlTtiRequest(cell_id=0, slot=0, pdus=[]))
+        deliver(orion, UlTtiRequest(cell_id=0, slot=10_000, pdus=[]))
+        sim.run()
+        assert orion.nulls_injected <= 8
+
+
+class TestEndToEndLoss:
+    def test_phy_survives_transport_loss(self):
+        """Drop a burst of L2->PHY datagrams on the wire: the PHY must
+        not crash (it would after 4 slots without TTI requests)."""
+        cell = build_slingshot_cell(
+            CellConfig(seed=77, ue_profiles=[UeProfile(1, "UE", 16.0)])
+        )
+        cell.run_for(s_to_ns(0.3))
+        phy_orion = cell.phy_servers[0].orion
+        original = phy_orion.receive_frame
+        dropped = {"count": 0}
+
+        def lossy(frame, ingress):
+            payload = frame.payload
+            # Drop the next ~2 slots' worth of requests.
+            if dropped["count"] < 6 and isinstance(payload, OrionDatagram):
+                if isinstance(payload.message, (UlTtiRequest, DlTtiRequest)):
+                    dropped["count"] += 1
+                    return
+            original(frame, ingress)
+
+        phy_orion.receive_frame = lossy
+        cell.run_for(s_to_ns(0.3))
+        assert dropped["count"] == 6
+        assert cell.phy_servers[0].phy.alive
+        assert phy_orion.nulls_injected >= 2
+        assert cell.ue(1).stats.rlf_events == 0

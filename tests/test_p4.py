@@ -1,0 +1,177 @@
+"""Tests for the P4 primitives: tables, registers, packet generator,
+control plane, and the resource model."""
+
+import numpy as np
+import pytest
+
+from repro.net.p4.control import ControlPlane
+from repro.net.p4.packetgen import PacketGenerator, TimerPacket
+from repro.net.p4.registers import RegisterArray
+from repro.net.p4.resources import PipelineResourceModel
+from repro.net.p4.tables import MatchActionTable
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, US
+
+
+class TestMatchActionTable:
+    def test_install_and_lookup(self):
+        table = MatchActionTable("t", capacity=4, key_bits=48, value_bits=8)
+        table.install("key", 42)
+        assert table.lookup("key") == 42
+        assert table.lookup("missing") is None
+
+    def test_capacity_enforced(self):
+        table = MatchActionTable("t", capacity=2, key_bits=8, value_bits=8)
+        table.install("a", 1)
+        table.install("b", 2)
+        with pytest.raises(RuntimeError):
+            table.install("c", 3)
+
+    def test_overwrite_existing_within_capacity(self):
+        table = MatchActionTable("t", capacity=1, key_bits=8, value_bits=8)
+        table.install("a", 1)
+        table.install("a", 2)  # No error; same key.
+        assert table.lookup("a") == 2
+
+    def test_remove(self):
+        table = MatchActionTable("t", capacity=2, key_bits=8, value_bits=8)
+        table.install("a", 1)
+        table.remove("a")
+        assert "a" not in table
+        table.remove("a")  # Idempotent.
+
+    def test_hit_counters(self):
+        table = MatchActionTable("t", capacity=2, key_bits=8, value_bits=8)
+        table.install("a", 1)
+        table.lookup("a")
+        table.lookup("b")
+        assert table.lookups == 2
+        assert table.hits == 1
+
+    def test_sram_accounting(self):
+        table = MatchActionTable("t", capacity=256, key_bits=48, value_bits=8)
+        assert table.sram_bits == 256 * 56
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        registers = RegisterArray("r", size=8)
+        registers.write(3, 99)
+        assert registers.read(3) == 99
+        assert registers.read(0) == 0
+
+    def test_width_masking(self):
+        registers = RegisterArray("r", size=2, width_bits=8)
+        registers.write(0, 0x1FF)
+        assert registers.read(0) == 0xFF
+
+    def test_saturating_increment(self):
+        registers = RegisterArray("r", size=1, width_bits=8)
+        registers.write(0, 254)
+        assert registers.increment(0) == 255
+        assert registers.increment(0) == 255  # Saturates, not wraps.
+
+    def test_bounds_checked(self):
+        registers = RegisterArray("r", size=4)
+        with pytest.raises(IndexError):
+            registers.read(4)
+        with pytest.raises(IndexError):
+            registers.write(-1, 0)
+
+    def test_reset_all(self):
+        registers = RegisterArray("r", size=3)
+        registers.write(1, 7)
+        registers.reset_all()
+        assert registers.snapshot() == [0, 0, 0]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", size=0)
+
+
+class TestPacketGenerator:
+    def test_rate_matches_timeout_division(self):
+        sim = Simulator()
+        ticks = []
+        generator = PacketGenerator.for_timeout(
+            sim, ticks.append, timeout_ns=450 * US, ticks_per_timeout=50
+        )
+        assert generator.period == 9 * US
+        sim.run_until(90 * US)
+        assert len(ticks) == 11  # t=0 inclusive through t=90us.
+
+    def test_paper_parameters_give_50k_pps(self):
+        sim = Simulator()
+        generator = PacketGenerator.for_timeout(
+            sim, lambda t: None, timeout_ns=450 * US, ticks_per_timeout=50
+        )
+        assert generator.rate_pps == pytest.approx(1e9 / 9000)
+
+    def test_tick_payloads_numbered(self):
+        sim = Simulator()
+        ticks = []
+        PacketGenerator(sim, ticks.append, period_ns=1000)
+        sim.run_until(3000)
+        assert [t.tick for t in ticks] == [0, 1, 2, 3]
+
+    def test_invalid_ticks_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PacketGenerator.for_timeout(sim, lambda t: None, 1000, 0)
+
+
+class TestControlPlane:
+    def test_updates_are_slow(self):
+        """Rule updates land tens of ms later — why migration cannot be
+        triggered from the control plane (§5.1)."""
+        sim = Simulator()
+        control = ControlPlane(sim, rng=np.random.default_rng(0))
+        table = MatchActionTable("t", capacity=4, key_bits=8, value_bits=8)
+        apply_time = control.install_rule(table, "k", 1)
+        assert apply_time - sim.now > 3 * MS
+        assert table.lookup("k") is None  # Not yet applied.
+        sim.run()
+        assert table.lookup("k") == 1
+
+    def test_p999_latency_near_29ms(self):
+        control = ControlPlane(Simulator(), rng=np.random.default_rng(1))
+        samples = np.array(
+            [control.sample_update_latency_ns() for _ in range(4000)]
+        )
+        p999_ms = np.percentile(samples, 99.9) / MS
+        assert 20.0 < p999_ms < 40.0
+
+    def test_sync_install_is_immediate(self):
+        sim = Simulator()
+        control = ControlPlane(sim)
+        table = MatchActionTable("t", capacity=4, key_bits=8, value_bits=8)
+        control.install_rule_sync(table, "k", 5)
+        assert table.lookup("k") == 5
+
+
+class TestResourceModel:
+    def test_paper_percentages_at_256(self):
+        """The §8.6 table: crossbar 5.2, ALU 10.4, gateway 14.1,
+        SRAM 5.3, hash 9.5 (percent)."""
+        usage = PipelineResourceModel().usage(256, 256)
+        assert usage.percent("crossbar") == pytest.approx(5.2, abs=0.3)
+        assert usage.percent("alu") == pytest.approx(10.4, abs=0.5)
+        assert usage.percent("gateway") == pytest.approx(14.1, abs=0.5)
+        assert usage.percent("sram_bits") == pytest.approx(5.3, abs=0.3)
+        assert usage.percent("hash_bits") == pytest.approx(9.5, abs=0.5)
+
+    def test_only_sram_grows_meaningfully_with_scale(self):
+        model = PipelineResourceModel()
+        small = model.usage(64, 64)
+        large = model.usage(1024, 1024)
+        sram_growth = large.percent("sram_bits") - small.percent("sram_bits")
+        for other in ("alu", "gateway"):
+            assert large.percent(other) - small.percent(other) < sram_growth / 4
+
+    def test_hundreds_of_rus_fit(self):
+        model = PipelineResourceModel()
+        assert model.max_supported_entries("sram_bits") > 1000
+
+    def test_invalid_deployment_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineResourceModel().usage(0, 1)

@@ -1,0 +1,91 @@
+"""Unit + property tests for CRC-24A."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.crc import CRC24_BITS, attach_crc, check_crc, crc24a
+
+
+class TestCrcBasics:
+    def test_crc_is_24_bits(self):
+        bits = np.ones(64, dtype=np.uint8)
+        assert 0 <= crc24a(bits) < (1 << 24)
+
+    def test_attach_appends_24_bits(self):
+        payload = np.zeros(100, dtype=np.uint8)
+        block = attach_crc(payload)
+        assert len(block) == 100 + CRC24_BITS
+
+    def test_attach_then_check_passes(self):
+        rng = np.random.default_rng(0)
+        payload = rng.integers(0, 2, 300, dtype=np.uint8)
+        assert check_crc(attach_crc(payload))
+
+    def test_single_bit_error_detected(self):
+        rng = np.random.default_rng(1)
+        block = attach_crc(rng.integers(0, 2, 300, dtype=np.uint8))
+        for position in (0, 57, 150, len(block) - 1):
+            corrupted = block.copy()
+            corrupted[position] ^= 1
+            assert not check_crc(corrupted), f"missed flip at {position}"
+
+    def test_burst_error_detected(self):
+        rng = np.random.default_rng(2)
+        block = attach_crc(rng.integers(0, 2, 300, dtype=np.uint8))
+        corrupted = block.copy()
+        corrupted[40:60] ^= 1
+        assert not check_crc(corrupted)
+
+    def test_too_short_block_fails_check(self):
+        assert not check_crc(np.ones(CRC24_BITS, dtype=np.uint8))
+        assert not check_crc(np.ones(5, dtype=np.uint8))
+
+    def test_known_differences_across_payloads(self):
+        a = crc24a(np.zeros(48, dtype=np.uint8))
+        b = crc24a(np.ones(48, dtype=np.uint8))
+        assert a != b
+
+    def test_bit_serial_matches_table_for_byte_multiple(self):
+        """The byte-wise fast path and bit-serial path must agree."""
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 128, dtype=np.uint8)
+        fast = crc24a(bits)
+        # Force the bit-serial path with a non-multiple length, padded
+        # back to equivalence manually: compute serially on same input.
+        register = 0
+        poly = 0x1864CFB
+        for bit in bits:
+            register ^= int(bit) << 23
+            register <<= 1
+            if register & 0x1000000:
+                register ^= poly
+            register &= 0xFFFFFF
+        assert fast == register
+
+
+class TestCrcProperties:
+    @given(st.binary(min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_random_payloads(self, data):
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        assert check_crc(attach_crc(bits))
+
+    @given(
+        st.binary(min_size=2, max_size=60),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_flip_detected(self, data, position_seed):
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        block = attach_crc(bits)
+        position = position_seed % len(block)
+        block[position] ^= 1
+        assert not check_crc(block)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=97))
+    @settings(max_examples=40, deadline=None)
+    def test_non_byte_aligned_lengths(self, bit_list):
+        bits = np.array(bit_list, dtype=np.uint8)
+        assert check_crc(attach_crc(bits))

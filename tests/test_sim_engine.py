@@ -1,0 +1,229 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import PeriodicProcess, Process
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import MS, SECOND, US, ms_to_ns, ns_to_ms, ns_to_us, s_to_ns, us_to_ns
+
+
+class TestSimulatorScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(100, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0, order.append, "nested")
+
+        sim.schedule(5, first)
+        sim.schedule(5, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_run_until_executes_boundary_events(self):
+        sim = Simulator()
+        seen = []
+        sim.at(100, seen.append, "boundary")
+        sim.at(101, seen.append, "beyond")
+        sim.run_until(100)
+        assert seen == ["boundary"]
+        assert sim.now == 100
+        sim.run_until(200)
+        assert seen == ["boundary", "beyond"]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(12345)
+        assert sim.now == 12345
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run_until(100)
+        sim.run_for(50)
+        assert sim.now == 150
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent_and_safe_after_fire(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert handle.fired
+        handle.cancel()  # No error.
+
+    def test_pending_reflects_state(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        assert handle.pending
+        sim.run()
+        assert not handle.pending
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        keep = sim.schedule(10, lambda: None)
+        drop = sim.schedule(20, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(20, seen.append, 2)
+        sim.run()
+        assert seen == [(1, None)] or len(seen) == 1
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_fixed_period(self):
+        sim = Simulator()
+        times = []
+
+        class Ticker(PeriodicProcess):
+            def on_tick(self, tick):
+                times.append((tick, self.now))
+
+        Ticker(sim, "t", period=100)
+        sim.run_until(350)
+        assert times == [(0, 0), (1, 100), (2, 200), (3, 300)]
+
+    def test_stop_cancels_future_ticks(self):
+        sim = Simulator()
+        count = []
+
+        class Ticker(PeriodicProcess):
+            def on_tick(self, tick):
+                count.append(tick)
+                if tick == 2:
+                    self.stop()
+
+        Ticker(sim, "t", period=10)
+        sim.run_until(1000)
+        assert count == [0, 1, 2]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+
+        class Ticker(PeriodicProcess):
+            def on_tick(self, tick):
+                pass
+
+        with pytest.raises(ValueError):
+            Ticker(sim, "t", period=0)
+
+    def test_start_offset_shifts_first_tick(self):
+        sim = Simulator()
+        times = []
+
+        class Ticker(PeriodicProcess):
+            def on_tick(self, tick):
+                times.append(self.now)
+
+        Ticker(sim, "t", period=100, start_offset=37)
+        sim.run_until(250)
+        assert times == [37, 137, 237]
+
+
+class TestUnits:
+    def test_round_trips(self):
+        assert us_to_ns(500) == 500 * US
+        assert ms_to_ns(50) == 50 * MS
+        assert s_to_ns(6.2) == int(6.2 * SECOND)
+        assert ns_to_us(1500) == 1.5
+        assert ns_to_ms(2 * MS) == 2.0
+
+    def test_one_tti_is_500_us(self):
+        assert us_to_ns(500) == 500_000
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = RngRegistry(seed=7)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_independent_of_request_order(self):
+        r1 = RngRegistry(seed=7)
+        r2 = RngRegistry(seed=7)
+        _ = r2.stream("other")  # Extra stream requested first.
+        assert r1.stream("chan").random() == r2.stream("chan").random()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x").random()
+        b = RngRegistry(seed=2).stream("x").random()
+        assert a != b
+
+    def test_different_names_differ(self):
+        registry = RngRegistry(seed=3)
+        assert registry.stream("x").random() != registry.stream("y").random()
+
+
+class TestTraceRecorder:
+    def test_records_and_indexes_by_category(self):
+        trace = TraceRecorder()
+        trace.record(10, "a", value=1)
+        trace.record(20, "b", value=2)
+        trace.record(30, "a", value=3)
+        assert [e.time for e in trace.events("a")] == [10, 30]
+        assert trace.count("b") == 1
+        assert trace.last("a")["value"] == 3
+
+    def test_disabled_recorder_drops_events(self):
+        trace = TraceRecorder()
+        trace.enabled = False
+        trace.record(1, "x")
+        assert len(trace) == 0
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1, "x")
+        trace.clear()
+        assert trace.count("x") == 0
+        assert trace.categories() == []
