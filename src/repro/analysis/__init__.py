@@ -1,0 +1,48 @@
+"""slinglint — repo-native static analysis for the Slingshot reproduction.
+
+The reproduction rests on invariants that used to live only in prose:
+
+* **Determinism** — all stochastic behaviour flows through
+  :class:`repro.sim.rng.RngRegistry` named streams; no wall clocks, no
+  stdlib ``random``, no ad-hoc constant-seeded generators.
+* **Time units** — all simulated time is integer nanoseconds on the
+  shared :class:`repro.sim.engine.Simulator` clock, expressed via
+  :mod:`repro.sim.units`.
+* **Event safety** — event callbacks must not rely on same-timestamp
+  FIFO tie order or capture loop variables late.
+* **P4 resources** — the switch program must fit a Tofino-class
+  pipeline's table, register-access, and SRAM/ALU budgets (§8.6).
+
+``python -m repro lint`` runs every registered rule over ``src/repro``
+(or explicit paths) and exits non-zero on findings. Individual findings
+are suppressed in source with ``# slinglint: disable=<rule-id>`` on the
+offending line, or ``# slinglint: disable-file=<rule-id>`` anywhere in
+the file.
+"""
+
+from repro.analysis.findings import Finding, Severity, format_findings
+from repro.analysis.registry import (
+    LintContext,
+    LintRule,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.runner import lint_paths, lint_source
+
+# Importing the rule modules registers their rules.
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import event_safety as _event_safety  # noqa: F401
+from repro.analysis import p4budget as _p4budget  # noqa: F401
+from repro.analysis import time_units as _time_units  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintRule",
+    "Severity",
+    "all_rules",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

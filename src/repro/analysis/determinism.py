@@ -1,0 +1,164 @@
+"""Determinism rules (DET0xx).
+
+The simulation must be a pure function of its scenario seed: identical
+runs produce identical traces. That dies the moment anything samples a
+wall clock or a generator whose seed is not derived from the scenario.
+All randomness flows through :class:`repro.sim.rng.RngRegistry` named
+streams; all timing flows from the :class:`repro.sim.engine.Simulator`
+clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
+
+#: Wall-clock calls that leak host time into simulation logic.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+#: datetime constructors that read the host clock.
+_DATETIME_CALLS = {"now", "utcnow", "today"}
+
+#: Legacy numpy global-state RNG functions (np.random.<fn> draws from a
+#: hidden module-level generator).
+_NUMPY_GLOBAL_RNG = {
+    "seed",
+    "random",
+    "rand",
+    "randn",
+    "randint",
+    "uniform",
+    "normal",
+    "choice",
+    "shuffle",
+    "permutation",
+}
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """DET001: no host wall clocks inside the simulation package."""
+
+    rule_id = "DET001"
+    title = "wall-clock read"
+    severity = Severity.ERROR
+    fix_hint = (
+        "use Simulator.now (simulated ns); user-facing elapsed-time output "
+        "goes through the single allowlisted helper in cli.py"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(ctx, node, f"wall-clock call {name}()")
+            else:
+                head, _, tail = name.rpartition(".")
+                if tail in _DATETIME_CALLS and (
+                    head.endswith("datetime") or head.endswith("date")
+                ):
+                    yield self.finding(ctx, node, f"wall-clock call {name}()")
+
+
+@register_rule
+class StdlibRandomRule(LintRule):
+    """DET002: the stdlib ``random`` module is banned outright."""
+
+    rule_id = "DET002"
+    title = "stdlib random import"
+    severity = Severity.ERROR
+    fix_hint = "draw from an RngRegistry named stream (repro.sim.rng) instead"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(ctx, node, "import of stdlib random module")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx, node, "import from stdlib random module"
+                    )
+
+
+@register_rule
+class PrivateGeneratorRule(LintRule):
+    """DET003: no unseeded or constant-seeded private numpy generators.
+
+    ``np.random.default_rng()`` is nondeterministic; ``default_rng(0)``
+    (any constant literal) creates a private stream that silently decouples
+    the component from the scenario seed. Seeds must be derived — an
+    RngRegistry stream, a function parameter, or content (e.g. a transport
+    block id). ``repro/sim/rng.py`` itself is exempt: it is the one place
+    allowed to construct generators.
+    """
+
+    rule_id = "DET003"
+    title = "private numpy generator"
+    severity = Severity.ERROR
+    fix_hint = (
+        "thread an RngRegistry stream through the deployment wiring "
+        "(rng.stream(name)) instead of a private default_rng fallback"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_module("sim", "rng.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name.endswith("random.default_rng") or name == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node, "unseeded np.random.default_rng()"
+                    )
+                elif node.args and isinstance(node.args[0], ast.Constant):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "constant-seeded np.random.default_rng"
+                        f"({node.args[0].value!r})",
+                    )
+
+
+@register_rule
+class NumpyGlobalRngRule(LintRule):
+    """DET004: no draws from numpy's hidden module-level generator."""
+
+    rule_id = "DET004"
+    title = "numpy global RNG"
+    severity = Severity.ERROR
+    fix_hint = "use a Generator object from an RngRegistry stream"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_module("sim", "rng.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, tail = name.rpartition(".")
+            if tail in _NUMPY_GLOBAL_RNG and (
+                head == "np.random" or head == "numpy.random"
+            ):
+                yield self.finding(ctx, node, f"numpy global-state call {name}()")

@@ -1,0 +1,272 @@
+"""P4 pipeline resource rules (P4R0xx) — static §8.6 budget verifier.
+
+The fronthaul middlebox (:mod:`repro.core.fh_middlebox`) models a Tofino
+pipeline, and a Tofino imposes hard per-pass limits that plain Python
+never would: a bounded number of match-action tables, a bounded number of
+accesses to any one register array within a single packet pass, and
+fixed SRAM/ALU/crossbar budgets. These rules recover the pipeline's
+shape from the AST — table and register declarations, plus a call graph
+of the ``_process_*`` packet passes — and check it against the budgets
+in :mod:`repro.net.p4.resources` at the scale the paper reports (§8.6:
+256 RUs / 256 PHY servers).
+
+Modelling notes:
+
+* A *pass* is one ``process``/``_process_*`` method plus the helpers it
+  (transitively) calls. Dispatch between pass methods selects which pass
+  a packet takes, so expansion does not descend from one pass method
+  into another.
+* Access counting is branch-insensitive: every ``.read()``/``.write()``
+  in a reachable body counts, which over-approximates any single
+  dynamic execution — exactly what a compiler placing stateful ALUs
+  must provision for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
+from repro.net.p4.resources import PipelineResourceModel
+
+#: Match-action tables one pipeline can host (stage-count bound).
+MAX_TABLES_PER_PIPELINE = 32
+
+#: Stateful-ALU accesses to a single register array within one pass.
+MAX_REGISTER_ACCESSES_PER_PASS = 4
+
+
+@dataclass
+class P4ProgramSummary:
+    """Statically recovered shape of a switch-pipeline program."""
+
+    #: Declared match-action tables: attribute name -> resolved entry count.
+    tables: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: Declared register arrays: attribute name -> resolved entry count.
+    registers: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: Per-pass, per-register access counts: pass name -> register -> count.
+    pass_accesses: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def max_accesses(self, register: str) -> int:
+        """Worst-case accesses to one register array over all passes."""
+        return max(
+            (counts.get(register, 0) for counts in self.pass_accesses.values()),
+            default=0,
+        )
+
+
+def _resolve_size(node: ast.expr, num_rus: int, num_phys: int) -> Optional[int]:
+    """Resolve a declared table/register size expression to a number.
+
+    ``cfg.max_rus`` / ``self.config.max_rus`` style attributes resolve to
+    the verification scale; integer literals pass through.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    name = dotted_name(node)
+    if name is not None:
+        tail = name.rpartition(".")[2]
+        if tail == "max_rus":
+            return num_rus
+        if tail == "max_phys":
+            return num_phys
+    return None
+
+
+def _is_pass_method(name: str) -> bool:
+    return name == "process" or name.startswith("_process")
+
+
+def summarize_program(
+    tree: ast.Module, num_rus: int = 256, num_phys: int = 256
+) -> P4ProgramSummary:
+    """Recover tables, registers, and per-pass access counts from a module."""
+    summary = P4ProgramSummary()
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        methods: Dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        # Declarations: self.<attr> = MatchActionTable(...)/RegisterArray(...)
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            ctor = dotted_name(node.value.func)
+            if ctor is None:
+                continue
+            ctor = ctor.rpartition(".")[2]
+            if ctor not in ("MatchActionTable", "RegisterArray"):
+                continue
+            for target in node.targets:
+                attr = dotted_name(target)
+                if attr is None:
+                    continue
+                attr = attr.rpartition(".")[2]
+                size = None
+                if len(node.value.args) >= 2:
+                    size = _resolve_size(node.value.args[1], num_rus, num_phys)
+                if ctor == "MatchActionTable":
+                    summary.tables[attr] = size
+                else:
+                    summary.registers[attr] = size
+        if not summary.registers and not summary.tables:
+            continue
+        # Per-method direct register accesses and intra-class call edges.
+        direct: Dict[str, Dict[str, int]] = {}
+        calls: Dict[str, Set[str]] = {}
+        for name, fn in methods.items():
+            counts: Dict[str, int] = {}
+            edges: Set[str] = set()
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = dotted_name(node.func)
+                if target is None:
+                    continue
+                parts = target.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] == "self"
+                    and parts[1] in summary.registers
+                    and parts[2] in ("read", "write")
+                ):
+                    counts[parts[1]] = counts.get(parts[1], 0) + 1
+                elif len(parts) == 2 and parts[0] == "self" and parts[1] in methods:
+                    edges.add(parts[1])
+            direct[name] = counts
+            calls[name] = edges
+        # Expand each pass: sum direct counts over its transitive helpers,
+        # never crossing into another pass method (that edge is dispatch).
+        for name in methods:
+            if not _is_pass_method(name):
+                continue
+            totals: Dict[str, int] = {}
+            seen: Set[str] = set()
+            stack: List[str] = [name]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                for register, count in direct[current].items():
+                    totals[register] = totals.get(register, 0) + count
+                for callee in calls[current]:
+                    if callee != name and _is_pass_method(callee):
+                        continue
+                    stack.append(callee)
+            summary.pass_accesses[name] = totals
+    return summary
+
+
+class _P4Rule(LintRule):
+    """Shared machinery: only fire on files that construct pipeline state."""
+
+    def _summary(self, ctx: LintContext) -> Optional[P4ProgramSummary]:
+        summary = summarize_program(ctx.tree, ctx.p4_num_rus, ctx.p4_num_phys)
+        if not summary.tables and not summary.registers:
+            return None
+        return summary
+
+
+@register_rule
+class ResourceBudgetRule(_P4Rule):
+    """P4R001: the program must fit the pipeline at the verification scale.
+
+    Evaluates :class:`PipelineResourceModel` at ``ctx.p4_num_rus`` /
+    ``ctx.p4_num_phys`` (default 256/256, the paper's §8.6 configuration)
+    and fails if any resource fraction reaches 100 %.
+    """
+
+    rule_id = "P4R001"
+    title = "pipeline resource budget exceeded"
+    severity = Severity.ERROR
+    fix_hint = (
+        "shrink the directory/register sizing or lower the deployment "
+        "scale; see repro.net.p4.resources.PipelineResourceModel"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        summary = self._summary(ctx)
+        if summary is None:
+            return
+        usage = PipelineResourceModel().usage(ctx.p4_num_rus, ctx.p4_num_phys)
+        for resource in sorted(usage.fraction):
+            if usage.fraction[resource] >= 1.0:
+                yield self.finding(
+                    ctx,
+                    ctx.tree,
+                    f"{resource} over budget at {ctx.p4_num_rus} RUs / "
+                    f"{ctx.p4_num_phys} PHYs: {usage.percent(resource):.1f}% "
+                    "of pipeline total",
+                )
+
+
+@register_rule
+class TableCountRule(_P4Rule):
+    """P4R002: at most MAX_TABLES_PER_PIPELINE match-action tables."""
+
+    rule_id = "P4R002"
+    title = "too many match-action tables"
+    severity = Severity.ERROR
+    fix_hint = "merge directories or split the program across pipelines"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        summary = self._summary(ctx)
+        if summary is None:
+            return
+        if len(summary.tables) > MAX_TABLES_PER_PIPELINE:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                f"{len(summary.tables)} match-action tables declared, "
+                f"pipeline supports {MAX_TABLES_PER_PIPELINE}",
+            )
+
+
+@register_rule
+class RegisterAccessRule(_P4Rule):
+    """P4R003: bounded register accesses per packet pass.
+
+    A stateful register array is bound to pipeline stages; one packet
+    pass can only touch it a small fixed number of times. Counts
+    ``.read()``/``.write()`` over the branch-insensitive call graph of
+    each ``process``/``_process_*`` pass.
+    """
+
+    rule_id = "P4R003"
+    title = "register accessed too often in one pass"
+    severity = Severity.ERROR
+    fix_hint = (
+        "cache the value in packet metadata (one read per pass) or split "
+        "the logic across recirculation passes"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        summary = self._summary(ctx)
+        if summary is None:
+            return
+        for pass_name in sorted(summary.pass_accesses):
+            counts = summary.pass_accesses[pass_name]
+            for register in sorted(counts):
+                if counts[register] > MAX_REGISTER_ACCESSES_PER_PASS:
+                    yield self.finding(
+                        ctx,
+                        ctx.tree,
+                        f"register {register!r} accessed {counts[register]}x "
+                        f"in pass {pass_name}() "
+                        f"(limit {MAX_REGISTER_ACCESSES_PER_PASS})",
+                    )
+
+
+def resource_report(num_rus: int = 256, num_phys: int = 256) -> Dict[str, float]:
+    """Paper-§8.6-style report: resource -> percent of pipeline used."""
+    usage = PipelineResourceModel().usage(num_rus, num_phys)
+    return {resource: usage.percent(resource) for resource in sorted(usage.fraction)}

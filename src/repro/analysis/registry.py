@@ -1,0 +1,181 @@
+"""Rule registry, lint context, and suppression handling.
+
+Rules are small classes registered with :func:`register_rule`; each gets
+the parsed AST plus per-line suppression data and yields
+:class:`~repro.analysis.findings.Finding` objects. Suppressions:
+
+* ``# slinglint: disable=RULE1,RULE2`` on the offending line, or
+* ``# slinglint: disable=all`` to silence every rule on that line, or
+* ``# slinglint: disable-file=RULE`` (or ``all``) anywhere in the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+from repro.analysis.findings import Finding, Severity
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*slinglint:\s*(disable|disable-file)=([A-Za-z0-9_,\s]+|all)"
+)
+
+
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract per-line and whole-file suppressions from source comments.
+
+    Uses the tokenizer (not a regex over raw lines) so directives inside
+    string literals do not count. Returns ``(line -> rule ids, file-wide
+    rule ids)``; the id ``"all"`` suppresses every rule.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            kind, spec = match.groups()
+            rules = {part.strip() for part in spec.split(",") if part.strip()}
+            if kind == "disable":
+                per_line.setdefault(token.start[0], set()).update(rules)
+            else:
+                whole_file.update(rules)
+    except tokenize.TokenError:  # pragma: no cover - only on broken source
+        pass
+    return per_line, whole_file
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to check one file."""
+
+    #: Path as reported in findings (repo-relative when possible).
+    path: str
+    source: str
+    tree: ast.Module
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    file_suppressions: Set[str] = field(default_factory=set)
+    #: Path split into parts relative to the ``repro`` package root, e.g.
+    #: ``("sim", "rng.py")``; empty when the file is outside the package.
+    module_parts: Tuple[str, ...] = ()
+    #: Scale at which the P4 resource verifier checks budgets.
+    p4_num_rus: int = 256
+    p4_num_phys: int = 256
+
+    @classmethod
+    def for_source(cls, source: str, path: str = "<string>", **kwargs) -> "LintContext":
+        per_line, whole_file = parse_suppressions(source)
+        tree = ast.parse(source, filename=path)
+        parts: Tuple[str, ...] = kwargs.pop("module_parts", ())
+        if not parts:
+            pieces = path.replace("\\", "/").split("/")
+            if "repro" in pieces:
+                parts = tuple(pieces[pieces.index("repro") + 1 :])
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            line_suppressions=per_line,
+            file_suppressions=whole_file,
+            module_parts=parts,
+            **kwargs,
+        )
+
+    def in_module(self, *suffix: str) -> bool:
+        """True when this file is ``repro/<...>/suffix`` (exact tail match)."""
+        if len(suffix) > len(self.module_parts):
+            return False
+        return self.module_parts[len(self.module_parts) - len(suffix) :] == suffix
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if {"all", rule_id} & self.file_suppressions:
+            return True
+        at_line = self.line_suppressions.get(line, set())
+        return bool({"all", rule_id} & at_line)
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id``, ``title``, ``severity``, ``fix_hint`` and
+    implement :meth:`check`, yielding findings (suppression filtering is
+    applied by the framework, not the rule).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    fix_hint: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: add a rule to the global registry (id must be unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def run_rules(
+    ctx: LintContext, rules: Optional[Iterable[LintRule]] = None
+) -> List[Finding]:
+    """Run rules over one context, dropping suppressed findings."""
+    results: List[Finding] = []
+    for rule in all_rules() if rules is None else rules:
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.rule_id, finding.line):
+                results.append(finding)
+    return results
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None

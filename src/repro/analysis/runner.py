@@ -1,0 +1,166 @@
+"""Lint driver: file discovery, rule execution, CLI.
+
+``python -m repro lint [paths...]`` — lints ``src/repro`` by default,
+prints a text or JSON report, and exits 0 (clean), 1 (findings), or
+2 (usage/parse error). ``--bench FILE`` appends a runtime record so the
+lint pass itself is benchmarked alongside the simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, format_findings, sort_findings
+from repro.analysis.registry import LintContext, run_rules
+
+
+def _repo_root() -> Path:
+    """The repository root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _default_target() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    num_rus: int = 256,
+    num_phys: int = 256,
+) -> List[Finding]:
+    """Lint one source string; raises SyntaxError on unparseable input."""
+    ctx = LintContext.for_source(
+        source, path=path, p4_num_rus=num_rus, p4_num_phys=num_phys
+    )
+    return sort_findings(run_rules(ctx))
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand directories into sorted ``*.py`` file lists."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    num_rus: int = 256,
+    num_phys: int = 256,
+) -> List[Finding]:
+    """Lint files/directories (default: the ``repro`` package source).
+
+    Finding paths are reported relative to the repository root when the
+    file lives under it, so reports are stable across checkouts.
+    """
+    targets = [Path(p) for p in paths] if paths else [_default_target()]
+    root = _repo_root()
+    findings: List[Finding] = []
+    for file_path in discover_files(targets):
+        source = file_path.read_text()
+        resolved = file_path.resolve()
+        try:
+            display = str(resolved.relative_to(root))
+        except ValueError:
+            display = str(file_path)
+        findings.extend(
+            lint_source(source, path=display, num_rus=num_rus, num_phys=num_phys)
+        )
+    return sort_findings(findings)
+
+
+def _record_bench(bench_path: Path, files: int, findings: int, seconds: float) -> None:
+    """Append one lint-runtime record to a JSON benchmark file."""
+    entries = []
+    if bench_path.exists():
+        try:
+            entries = json.loads(bench_path.read_text())
+        except json.JSONDecodeError:
+            entries = []
+    entries.append(
+        {
+            "benchmark": "slinglint",
+            "files": files,
+            "findings": findings,
+            "wall_seconds": round(seconds, 4),
+        }
+    )
+    bench_path.parent.mkdir(parents=True, exist_ok=True)
+    bench_path.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis for the Slingshot reproduction (slinglint).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package source)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--num-rus",
+        type=int,
+        default=256,
+        help="deployment scale for the P4 resource verifier (default: 256)",
+    )
+    parser.add_argument(
+        "--num-phys",
+        type=int,
+        default=256,
+        help="PHY-server count for the P4 resource verifier (default: 256)",
+    )
+    parser.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append a lint-runtime record to this JSON benchmark file",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    # Wall-clock timing of the lint pass itself is host tooling, not
+    # simulation logic.  # slinglint: disable=DET001
+    started = time.perf_counter()  # slinglint: disable=DET001
+    try:
+        findings = lint_paths(
+            args.paths or None, num_rus=args.num_rus, num_phys=args.num_phys
+        )
+    except (SyntaxError, OSError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started  # slinglint: disable=DET001
+    try:
+        print(format_findings(findings, fmt=args.format))
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe; the exit code
+        # still reports the findings.
+        sys.stderr.close()
+        return 1 if findings else 0
+    if args.bench is not None:
+        files = len(discover_files([Path(p) for p in args.paths] or [_default_target()]))
+        _record_bench(args.bench, files=files, findings=len(findings), seconds=elapsed)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

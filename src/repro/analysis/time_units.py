@@ -1,0 +1,122 @@
+"""Time-unit rules (TIM0xx).
+
+The simulator clock is integer nanoseconds (:mod:`repro.sim.units`):
+float time makes event ordering inexact and breaks TTI arithmetic. These
+rules watch the arguments that flow into the scheduling APIs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
+
+#: Methods whose first positional argument is a time/delay in ns.
+_SCHEDULING_METHODS = {"schedule", "at", "call_after", "run_until", "run_for"}
+
+#: Conversions that legitimately produce integer ns from float input.
+_INT_PRODUCERS = {"int", "round", "s_to_ns", "ms_to_ns", "us_to_ns"}
+
+
+def _time_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The time/delay argument of a scheduling call, if this is one."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    method = name.rpartition(".")[2]
+    if method not in _SCHEDULING_METHODS:
+        return None
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg in ("delay", "time", "end_time", "duration"):
+            return keyword.value
+    return None
+
+
+def _contains_float_literal(node: ast.expr) -> Optional[ast.Constant]:
+    """First float literal in the expression subtree, skipping subtrees
+    wrapped in an integer-producing conversion."""
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func is not None and func.rpartition(".")[2] in _INT_PRODUCERS:
+            return None
+        for arg in node.args:
+            found = _contains_float_literal(arg)
+            if found is not None:
+                return found
+        return None
+    if isinstance(node, ast.Constant):
+        return node if isinstance(node.value, float) else None
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            found = _contains_float_literal(child)
+            if found is not None:
+                return found
+    return None
+
+
+@register_rule
+class FloatTimeRule(LintRule):
+    """TIM001: float literals must not flow into scheduling arguments."""
+
+    rule_id = "TIM001"
+    title = "float simulated time"
+    severity = Severity.ERROR
+    fix_hint = (
+        "convert with sim.units (s_to_ns/ms_to_ns/us_to_ns) or round() so "
+        "the scheduler only ever sees integer nanoseconds"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            arg = _time_argument(node)
+            if arg is None:
+                continue
+            literal = _contains_float_literal(arg)
+            if literal is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float literal {literal.value!r} flows into "
+                    f"{dotted_name(node.func)}()",
+                )
+
+
+@register_rule
+class MagicDurationRule(LintRule):
+    """TIM002: large bare integer durations should come from sim.units.
+
+    ``schedule(500_000, ...)`` hides a unit; ``schedule(500 * US, ...)``
+    does not. Integers below 10 µs pass (small offsets and literal zero
+    are idiomatic).
+    """
+
+    rule_id = "TIM002"
+    title = "magic-number duration"
+    severity = Severity.WARNING
+    fix_hint = "express the duration via repro.sim.units (US/MS/SECOND multiples)"
+
+    threshold_ns = 10_000
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            arg = _time_argument(node)
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, int)
+                and not isinstance(arg.value, bool)
+                and arg.value >= self.threshold_ns
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare duration literal {arg.value} ns passed to "
+                    f"{dotted_name(node.func)}()",
+                )

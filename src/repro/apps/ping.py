@@ -92,7 +92,8 @@ class PingClient(Process):
         if self._running:
             return
         self._running = True
-        self.call_after(0, self._send_next)
+        # First probe at start time; order-independent (tie-shuffle clean).
+        self.call_after(0, self._send_next)  # slinglint: disable=EVT002
 
     def stop(self) -> None:
         self._running = False

@@ -18,6 +18,7 @@ import numpy as np
 from repro.corenet.server import AppServer
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
 from repro.sim.units import MS, SECOND
 from repro.transport.packet import FlowDirection, Packet
 from repro.ue.ue import UserEquipment
@@ -53,7 +54,11 @@ class VideoSender(Process):
         self.bitrate_bps = bitrate_bps
         self.fps = fps
         self.mtu_bytes = mtu_bytes
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = (
+            rng
+            if rng is not None
+            else RngRegistry(seed=0).stream(f"app.video.{flow_id}")
+        )
         self._frame_index = 0
         self._seq = 0
         self._running = False
@@ -67,7 +72,8 @@ class VideoSender(Process):
         if self._running:
             return
         self._running = True
-        self.call_after(0, self._send_frame)
+        # First frame at start time; order-independent (tie-shuffle clean).
+        self.call_after(0, self._send_frame)  # slinglint: disable=EVT002
 
     def stop(self) -> None:
         self._running = False

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.sim.rng import RngRegistry
 from repro.sim.units import US
 
 #: Propagation speed in fiber, ~5 µs per km one way.
@@ -54,7 +55,9 @@ class SoftwareMiddleboxModel:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.config = config or SoftwareMboxConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = (
+            rng if rng is not None else RngRegistry(seed=0).stream("baseline.swmbox")
+        )
 
     def sample_added_latency_ns(self, count: int) -> np.ndarray:
         """Draw per-packet added one-way latencies."""

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.sim.rng import RngRegistry
 from repro.sim.units import MS, SECOND, US, ns_to_ms
 
 
@@ -100,7 +101,9 @@ class PrecopyMigrationModel:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.config = config or VmMigrationConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = (
+            rng if rng is not None else RngRegistry(seed=0).stream("baseline.vm_mig")
+        )
 
     def _bandwidth(self, transport: TransportKind) -> float:
         cfg = self.config

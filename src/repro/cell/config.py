@@ -59,6 +59,10 @@ class CellConfig:
     """Everything needed to stand up one simulated cell."""
 
     seed: int = 0
+    #: Tie-order race detector (see :class:`repro.sim.engine.Simulator`):
+    #: when set, same-timestamp events fire in seeded-random order instead
+    #: of FIFO. Traces must not depend on the value.
+    tie_shuffle_seed: Optional[int] = None
     numerology: Numerology = field(default_factory=Numerology)
     tdd: TddPattern = field(default_factory=TddPattern)
     ue_profiles: List[UeProfile] = field(default_factory=lambda: list(DEFAULT_UE_PROFILES))

@@ -36,6 +36,7 @@ from repro.l2.mac import L2Process, MacConfig
 from repro.net.addresses import MacAddress, MacAllocator
 from repro.net.link import Link
 from repro.net.packet import EtherType, EthernetFrame
+from repro.net.ptp import PtpClock
 from repro.net.switch import Switch
 from repro.phy.channel import UeChannelModel
 from repro.phy.numerology import SlotClock
@@ -96,6 +97,9 @@ class _BaseCell:
     core: CoreNetwork
     server: AppServer
     ues: Dict[int, UserEquipment]
+    #: PTP-disciplined clocks of the slot-synchronized nodes (Table 1):
+    #: the RU and every PHY server, each on its own registry stream.
+    ptp_clocks: Dict[str, PtpClock] = field(default_factory=dict)
 
     @property
     def slot_ns(self) -> int:
@@ -229,7 +233,7 @@ def _wire_phy_server(
 
 def _build_common(config: CellConfig):
     """Create the shared substrate: sim, switch+middlebox, RU, air, UEs."""
-    sim = Simulator()
+    sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
     trace = TraceRecorder()
     rng = RngRegistry(seed=config.seed)
     slot_clock = SlotClock(config.numerology)
@@ -264,6 +268,18 @@ def _build_common(config: CellConfig):
     ru.uplink = ru_port.ingress_link  # type: ignore[attr-defined]
     middlebox.register_ru(0, ru_mac, ru_port.number, initial_phy=0)
     return sim, trace, rng, slot_clock, macs, switch, middlebox, air, ru
+
+
+def _build_ptp_clocks(rng: RngRegistry, num_phy_servers: int) -> Dict[str, PtpClock]:
+    """Disciplined PTP clocks for the RU and PHY servers.
+
+    Each clock's oscillator/servo noise comes from its own named registry
+    stream, so the clock ensemble is deterministic per scenario seed.
+    """
+    clocks: Dict[str, PtpClock] = {"ru0": PtpClock(rng=rng.stream("ptp.ru0"))}
+    for phy_id in range(num_phy_servers):
+        clocks[f"phy{phy_id}"] = PtpClock(rng=rng.stream(f"ptp.phy{phy_id}"))
+    return clocks
 
 
 def _build_ues(
@@ -375,7 +391,7 @@ def build_slingshot_cell(config: Optional[CellConfig] = None) -> SlingshotCell:
     core = CoreNetwork(
         sim,
         config=CoreConfig(backhaul_latency_ns=config.backhaul_latency_ns),
-        rng=rng.stream("core"),
+        registry=rng,
         trace=trace,
     )
     core.bind_l2(l2)
@@ -398,6 +414,7 @@ def build_slingshot_cell(config: Optional[CellConfig] = None) -> SlingshotCell:
         core=core,
         server=server,
         ues=ues,
+        ptp_clocks=_build_ptp_clocks(rng, config.num_phy_servers),
         l2=l2,
         l2_orion=l2_orion,
         controller=controller,
@@ -447,7 +464,7 @@ def build_baseline_cell(config: Optional[CellConfig] = None) -> BaselineCell:
     core = CoreNetwork(
         sim,
         config=CoreConfig(backhaul_latency_ns=config.backhaul_latency_ns),
-        rng=rng.stream("core"),
+        registry=rng,
         trace=trace,
     )
     core.bind_l2(l2s[0])
@@ -470,6 +487,7 @@ def build_baseline_cell(config: Optional[CellConfig] = None) -> BaselineCell:
         core=core,
         server=server,
         ues=ues,
+        ptp_clocks=_build_ptp_clocks(rng, num_phy_servers=2),
         primary_l2=l2s[0],
         backup_l2=l2s[1],
     )

@@ -136,7 +136,7 @@ def build_dual_cell_deployment(
     core = CoreNetwork(
         sim,
         config=CoreConfig(backhaul_latency_ns=config.backhaul_latency_ns),
-        rng=rng.stream("core"),
+        registry=rng,
         trace=trace,
     )
     server = AppServer(sim, core, latency_to_core_ns=config.server_latency_ns)

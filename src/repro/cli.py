@@ -7,9 +7,11 @@ Usage::
     python -m repro fig8 --duration 12 --failure-at 2.6
     python -m repro table2 --duration 60 --rates 1 10 20 50
     python -m repro all --quick
+    python -m repro lint [paths...]
 
-Each command runs the corresponding harness from
-:mod:`repro.experiments` and prints its paper-style summary.
+Each experiment command runs the corresponding harness from
+:mod:`repro.experiments` and prints its paper-style summary;
+``lint`` runs the :mod:`repro.analysis` static checks (slinglint).
 """
 
 from __future__ import annotations
@@ -157,12 +159,27 @@ def _defaults_for(name: str, args) -> None:
         args.rates = [1.0, 20.0]
 
 
+def _wall_seconds() -> float:
+    """Host wall-clock seconds, for user-facing elapsed-time output only.
+
+    This is the single allowlisted wall-clock call site in the package
+    (simulation logic must use Simulator.now): DET001 enforces that.
+    """
+    return time.time()  # slinglint: disable=DET001
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv and raw_argv[0] == "lint":
+        from repro.analysis import runner as lint_runner
+
+        return lint_runner.main(raw_argv[1:])
+    args = build_parser().parse_args(raw_argv)
     if args.experiment == "list":
         print("available experiments:")
         for name, (_, description, _) in EXPERIMENTS.items():
             print(f"  {name:7s} {description}")
+        print("  lint    static-analysis pass over src/repro (slinglint)")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -172,13 +189,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     for name in names:
         runner, description, _ = EXPERIMENTS[name]
-        per_run_args = build_parser().parse_args(argv)
+        per_run_args = build_parser().parse_args(raw_argv)
         per_run_args.experiment = args.experiment
         _defaults_for(name, per_run_args)
         print(f"\n=== {name}: {description} ===")
-        started = time.time()
+        started = _wall_seconds()
         print(runner(per_run_args))
-        print(f"  [{time.time() - started:.1f}s wall]")
+        print(f"  [{_wall_seconds() - started:.1f}s wall]")
     return 0
 
 

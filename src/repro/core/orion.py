@@ -267,7 +267,10 @@ class PhySideOrion(Process):
         self._arm_watchdog()
         if self.shm_to_phy is None:
             return
-        for (cell_id, kind), last in list(self._last_tti_slot.items()):
+        # Sorted, not insertion order: the dict is populated in arrival
+        # order of the first UL/DL request, which can be a same-timestamp
+        # tie — iteration must not depend on how that tie broke.
+        for (cell_id, kind), last in sorted(self._last_tti_slot.items()):
             if last >= abs_slot:
                 continue
             make_null = null_ul_tti if kind == "UL" else null_dl_tti

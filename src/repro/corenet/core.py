@@ -15,12 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-import numpy as np
-
 from repro.l2.mac import L2Process
 from repro.l2.rlc import RlcBearerConfig
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import MS, s_to_ns
 from repro.transport.packet import FlowDirection, Packet
@@ -46,13 +45,16 @@ class CoreNetwork(Process):
         self,
         sim: Simulator,
         config: Optional[CoreConfig] = None,
-        rng: Optional[np.random.Generator] = None,
+        registry: Optional[RngRegistry] = None,
         trace: Optional[TraceRecorder] = None,
         name: str = "core",
     ) -> None:
         super().__init__(sim, name)
         self.config = config or CoreConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: Named-stream registry. Attach jitter is drawn from a per-UE
+        #: stream so that concurrent RLFs (same-timestamp events) get the
+        #: same durations regardless of the order their events fire in.
+        self.registry = registry if registry is not None else RngRegistry(seed=0)
         self.trace = trace
         self.l2: Optional[L2Process] = None
         #: UEs known to the core, with their bearer profiles.
@@ -142,7 +144,8 @@ class CoreNetwork(Process):
         serving = self._serving_l2(ue.ue_id)
         if serving is not None:
             serving.deregister_ue(ue.ue_id)
-        jitter = int(self.rng.uniform(-1.0, 1.0) * self.config.attach_jitter_ns)
+        rng = self.registry.stream(f"core.attach.ue{ue.ue_id}")
+        jitter = int(rng.uniform(-1.0, 1.0) * self.config.attach_jitter_ns)
         duration = max(self.config.attach_duration_ns + jitter, 0)
         if self.trace is not None:
             self.trace.record(

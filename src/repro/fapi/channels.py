@@ -12,7 +12,8 @@ implementing :class:`FapiEndpoint` can peer over a :class:`ShmChannel`.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from collections import deque
+from typing import Deque, Optional, Protocol
 
 from repro.fapi.messages import FapiMessage
 from repro.sim.engine import Simulator
@@ -45,23 +46,29 @@ class ShmChannel:
         self.latency_ns = latency_ns
         self.name = name
         self.messages_sent = 0
+        self._pending: Deque[FapiMessage] = deque()
 
     def connect(self, endpoint: FapiEndpoint) -> None:
         """Attach the consumer (two-phase wiring)."""
         self.endpoint = endpoint
 
     def send(self, message: FapiMessage) -> None:
-        """Deliver a message after the channel latency."""
+        """Deliver a message after the channel latency.
+
+        Messages wait in an internal FIFO and each delivery event pops the
+        head, so the ring buffer's ordering holds even when two deliveries
+        share a timestamp and the engine permutes tie order (the
+        ``tie_shuffle_seed`` race-detector mode).
+        """
         if self.endpoint is None:
             raise RuntimeError(f"SHM channel {self.name} has no endpoint")
         self.messages_sent += 1
-        self.sim.schedule(
-            self.latency_ns, self._deliver, message, label=f"{self.name}.deliver"
-        )
+        self._pending.append(message)
+        self.sim.schedule(self.latency_ns, self._deliver, label=f"{self.name}.deliver")
 
-    def _deliver(self, message: FapiMessage) -> None:
+    def _deliver(self) -> None:
         assert self.endpoint is not None
-        self.endpoint.receive_fapi(message, channel=self)
+        self.endpoint.receive_fapi(self._pending.popleft(), channel=self)
 
 
 class DuplexShmChannel:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.net.p4.tables import MatchActionTable
 from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
 from repro.sim.units import ms_to_ns
 
 
@@ -37,8 +38,8 @@ class ControlPlane:
         name: str = "switch-ctl",
     ) -> None:
         self.sim = sim
-        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.name = name
+        self.rng = rng if rng is not None else RngRegistry(seed=0).stream(name)
         self.updates_issued = 0
 
     def sample_update_latency_ns(self) -> int:

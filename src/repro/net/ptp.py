@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.sim.rng import RngRegistry
 from repro.sim.units import SECOND, US
 
 
@@ -52,7 +53,7 @@ class PtpClock:
     ) -> None:
         self.config = config or PtpConfig()
         self.disciplined = disciplined
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else RngRegistry(seed=0).stream("ptp")
         self.epoch_ns = epoch_ns
         #: Offset at the last discipline point.
         self._base_offset_ns = 0.0

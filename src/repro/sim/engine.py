@@ -10,6 +10,12 @@ Design notes
 * Time is an ``int`` number of nanoseconds (see :mod:`repro.sim.units`).
 * Events at the same timestamp fire in scheduling order (FIFO), which makes
   traces deterministic and reproducible.
+* The *tie-order race detector* (``Simulator(tie_shuffle_seed=...)``)
+  replaces FIFO tie-breaking with a seeded random permutation of
+  same-timestamp events. A correct model produces byte-identical traces
+  under any seed; any divergence from the FIFO trace is a real ordering
+  race (a component whose semantics depend on scheduling order rather
+  than on event time).
 * Cancellation is O(1): cancelled events stay in the heap but are skipped
   when popped.
 """
@@ -21,6 +27,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+import numpy as np
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid use of the simulator (e.g. scheduling in the past)."""
@@ -28,9 +36,11 @@ class SimulationError(RuntimeError):
 
 @dataclass(order=True)
 class _QueueEntry:
-    """Internal heap entry; ordering is (time, seq) so ties are FIFO."""
+    """Internal heap entry; ordering is (time, tie, seq) so ties are FIFO
+    unless a tie-shuffle key is assigned."""
 
     time: int
+    tie: int
     seq: int
     handle: "EventHandle" = field(compare=False)
 
@@ -75,14 +85,35 @@ class EventHandle:
 
 
 class Simulator:
-    """Discrete-event simulator with an integer-nanosecond clock."""
+    """Discrete-event simulator with an integer-nanosecond clock.
 
-    def __init__(self, start_time: int = 0) -> None:
+    ``tie_shuffle_seed`` enables the tie-order race detector: when set,
+    events that share a timestamp fire in a seeded-random order instead of
+    FIFO. Running the same scenario under two different seeds and diffing
+    the traces is a dynamic race check — identical traces mean no component
+    depends on same-timestamp tie order.
+    """
+
+    def __init__(
+        self, start_time: int = 0, tie_shuffle_seed: Optional[int] = None
+    ) -> None:
         self._now = start_time
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self.tie_shuffle_seed = tie_shuffle_seed
+        self._tie_rng: Optional[np.random.Generator] = (
+            None
+            if tie_shuffle_seed is None
+            else np.random.Generator(np.random.PCG64(tie_shuffle_seed))
+        )
+
+    def _tie_key(self) -> int:
+        """Tie-break key for a new event: 0 (FIFO) or a seeded random draw."""
+        if self._tie_rng is None:
+            return 0
+        return int(self._tie_rng.integers(0, 1 << 32))
 
     # ------------------------------------------------------------------
     # Clock
@@ -129,7 +160,9 @@ class Simulator:
                 f"cannot schedule at t={time} ns; clock is already at {self._now} ns"
             )
         handle = EventHandle(time, callback, args, label=label)
-        entry = _QueueEntry(time=time, seq=next(self._seq), handle=handle)
+        entry = _QueueEntry(
+            time=time, tie=self._tie_key(), seq=next(self._seq), handle=handle
+        )
         heapq.heappush(self._queue, entry)
         return handle
 

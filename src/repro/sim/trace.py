@@ -8,6 +8,7 @@ samples, failure-detection timestamps).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -65,6 +66,30 @@ class TraceRecorder:
         """Most recent event of a category, or None."""
         events = self._by_category.get(category)
         return events[-1] if events else None
+
+    def canonical_events(self) -> List[TraceEvent]:
+        """Events in canonical order: sorted by (time, category, fields).
+
+        Same-timestamp events with no causal edge between them are
+        concurrent — the engine may serialize them in any order (and the
+        ``tie_shuffle_seed`` race-detector mode deliberately permutes
+        them). Canonical order factors that arbitrary serialization out,
+        so two runs are behaviourally identical iff their canonical
+        traces are byte-identical. A real ordering race changes event
+        *content* or *membership*, which canonical order still exposes.
+        """
+        return sorted(
+            self._events,
+            key=lambda e: (e.time, e.category, repr(sorted(e.fields.items()))),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical trace; equal digests ⇔ identical runs."""
+        hasher = hashlib.sha256()
+        for event in self.canonical_events():
+            line = f"{event.time} {event.category} {sorted(event.fields.items())!r}\n"
+            hasher.update(line.encode("utf-8"))
+        return hasher.hexdigest()
 
     def clear(self) -> None:
         """Drop all recorded events."""

@@ -77,7 +77,8 @@ class UdpSender(Process):
         if self._running:
             return
         self._running = True
-        self.call_after(0, self._send_next)
+        # First packet at start time; order-independent (tie-shuffle clean).
+        self.call_after(0, self._send_next)  # slinglint: disable=EVT002
 
     def stop(self) -> None:
         self._running = False

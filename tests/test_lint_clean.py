@@ -1,0 +1,103 @@
+"""Tier-1 gate: the tree lints clean, and the P4 verifier reproduces the
+paper's §8.6 switch-resource budget check for the 256-RU configuration."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.analysis import format_findings, lint_paths, lint_source
+from repro.analysis.p4budget import (
+    MAX_REGISTER_ACCESSES_PER_PASS,
+    MAX_TABLES_PER_PIPELINE,
+    resource_report,
+    summarize_program,
+)
+
+import ast
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+class TestTreeIsClean:
+    def test_package_lints_clean(self):
+        findings = lint_paths([PACKAGE])
+        assert findings == [], "\n" + format_findings(findings)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nstart = time.time()\n")
+        assert cli.main(["lint", str(dirty)]) == 1
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli.main(["lint", str(clean)]) == 0
+        capsys.readouterr()
+
+    def test_cli_reports_finding_location(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert cli.main(["lint", str(dirty), "--format", "json"]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "dirty.py" in out
+
+
+class TestSection86BudgetCheck:
+    """Static reproduction of the paper's Table in §8.6."""
+
+    def test_fh_middlebox_fits_at_256_rus(self):
+        source = (PACKAGE / "core" / "fh_middlebox.py").read_text()
+        findings = lint_source(
+            source,
+            path="src/repro/core/fh_middlebox.py",
+            num_rus=256,
+            num_phys=256,
+        )
+        assert findings == [], "\n" + format_findings(findings)
+
+    def test_paper_percentages_at_256(self):
+        report = resource_report(num_rus=256, num_phys=256)
+        expected = {
+            "crossbar": 5.2,
+            "alu": 10.4,
+            "gateway": 14.1,
+            "sram_bits": 5.3,
+            "hash_bits": 9.5,
+        }
+        for resource, percent in expected.items():
+            assert report[resource] == pytest.approx(percent, abs=0.1)
+            assert report[resource] < 100.0
+
+    def test_recovered_program_shape(self):
+        source = (PACKAGE / "core" / "fh_middlebox.py").read_text()
+        summary = summarize_program(ast.parse(source), 256, 256)
+        assert set(summary.tables) == {
+            "ru_id_directory",
+            "phy_id_directory",
+            "phy_address_directory",
+            "ru_port_directory",
+        }
+        assert len(summary.tables) <= MAX_TABLES_PER_PIPELINE
+        assert set(summary.registers) == {
+            "ru_to_phy",
+            "mig_valid",
+            "mig_slot",
+            "mig_dest",
+            "prev_phy",
+            "last_boundary",
+        }
+        # Directory/register sizing resolves to the verification scale.
+        assert summary.tables["ru_id_directory"] == 256
+        assert summary.registers["ru_to_phy"] == 256
+        for register in summary.registers:
+            assert summary.max_accesses(register) <= MAX_REGISTER_ACCESSES_PER_PASS
+
+    def test_budget_fails_beyond_sram_capacity(self):
+        source = (PACKAGE / "core" / "fh_middlebox.py").read_text()
+        findings = lint_source(
+            source,
+            path="src/repro/core/fh_middlebox.py",
+            num_rus=6000,
+            num_phys=6000,
+        )
+        assert any(f.rule_id == "P4R001" for f in findings)

@@ -1,0 +1,241 @@
+"""Per-rule slinglint fixtures: each rule fires on a minimal violation
+and is silenced by its suppression comment."""
+
+import pytest
+
+from repro.analysis import Severity, all_rules, lint_source
+from repro.analysis.p4budget import (
+    MAX_REGISTER_ACCESSES_PER_PASS,
+    summarize_program,
+)
+from repro.analysis.registry import LintContext, parse_suppressions
+
+import ast
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint(source, path="src/repro/somewhere/mod.py", **kwargs):
+    return lint_source(source, path=path, **kwargs)
+
+
+class TestDeterminismRules:
+    def test_det001_wall_clock(self):
+        findings = lint("import time\nstart = time.time()\n")
+        assert "DET001" in rule_ids(findings)
+
+    def test_det001_datetime_now(self):
+        findings = lint("import datetime\nt = datetime.datetime.now()\n")
+        assert "DET001" in rule_ids(findings)
+
+    def test_det001_suppressed(self):
+        findings = lint(
+            "import time\nstart = time.time()  # slinglint: disable=DET001\n"
+        )
+        assert "DET001" not in rule_ids(findings)
+
+    def test_det002_stdlib_random_import(self):
+        assert "DET002" in rule_ids(lint("import random\n"))
+        assert "DET002" in rule_ids(lint("from random import choice\n"))
+
+    def test_det002_suppressed_file_wide(self):
+        findings = lint(
+            "# slinglint: disable-file=DET002\nimport random\n"
+        )
+        assert "DET002" not in rule_ids(findings)
+
+    def test_det003_unseeded_and_constant_seeded(self):
+        assert "DET003" in rule_ids(
+            lint("import numpy as np\nrng = np.random.default_rng()\n")
+        )
+        assert "DET003" in rule_ids(
+            lint("import numpy as np\nrng = np.random.default_rng(0)\n")
+        )
+
+    def test_det003_variable_seed_allowed(self):
+        findings = lint(
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert "DET003" not in rule_ids(findings)
+
+    def test_det003_exempt_in_rng_module(self):
+        findings = lint(
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+            path="src/repro/sim/rng.py",
+        )
+        assert "DET003" not in rule_ids(findings)
+
+    def test_det004_numpy_global_rng(self):
+        findings = lint("import numpy as np\nx = np.random.uniform(0, 1)\n")
+        assert "DET004" in rule_ids(findings)
+
+    def test_det004_generator_method_allowed(self):
+        findings = lint("def f(rng):\n    return rng.uniform(0, 1)\n")
+        assert "DET004" not in rule_ids(findings)
+
+
+class TestTimeUnitRules:
+    def test_tim001_float_literal_delay(self):
+        findings = lint("def f(sim):\n    sim.schedule(1.5, print)\n")
+        assert "TIM001" in rule_ids(findings)
+
+    def test_tim001_float_inside_expression(self):
+        findings = lint("def f(sim, n):\n    sim.at(n * 0.5, print)\n")
+        assert "TIM001" in rule_ids(findings)
+
+    def test_tim001_converted_float_allowed(self):
+        findings = lint(
+            "from repro.sim.units import s_to_ns\n"
+            "def f(sim):\n"
+            "    sim.schedule(s_to_ns(1.5), print)\n"
+        )
+        assert "TIM001" not in rule_ids(findings)
+
+    def test_tim001_suppressed(self):
+        findings = lint(
+            "def f(sim):\n"
+            "    sim.schedule(1.5, print)  # slinglint: disable=TIM001\n"
+        )
+        assert "TIM001" not in rule_ids(findings)
+
+    def test_tim002_magic_duration(self):
+        findings = lint("def f(sim):\n    sim.schedule(500_000, print)\n")
+        assert "TIM002" in rule_ids(findings)
+
+    def test_tim002_small_offsets_allowed(self):
+        findings = lint("def f(sim):\n    sim.schedule(100, print)\n")
+        assert "TIM002" not in rule_ids(findings)
+
+    def test_tim002_units_expression_allowed(self):
+        findings = lint(
+            "from repro.sim.units import US\n"
+            "def f(sim):\n"
+            "    sim.schedule(500 * US, print)\n"
+        )
+        assert "TIM002" not in rule_ids(findings)
+
+
+class TestEventSafetyRules:
+    def test_evt001_loop_capture(self):
+        findings = lint(
+            "def f(sim, items):\n"
+            "    for item in items:\n"
+            "        sim.schedule(10, lambda: print(item))\n"
+        )
+        assert "EVT001" in rule_ids(findings)
+
+    def test_evt001_default_binding_allowed(self):
+        findings = lint(
+            "def f(sim, items):\n"
+            "    for item in items:\n"
+            "        sim.schedule(10, lambda item=item: print(item))\n"
+        )
+        assert "EVT001" not in rule_ids(findings)
+
+    def test_evt001_argument_passing_allowed(self):
+        findings = lint(
+            "def f(sim, items):\n"
+            "    for item in items:\n"
+            "        sim.schedule(10, print, item)\n"
+        )
+        assert "EVT001" not in rule_ids(findings)
+
+    def test_evt002_zero_delay(self):
+        findings = lint("def f(sim):\n    sim.schedule(0, print)\n")
+        assert "EVT002" in rule_ids(findings)
+
+    def test_evt002_suppressed(self):
+        findings = lint(
+            "def f(sim):\n"
+            "    sim.schedule(0, print)  # slinglint: disable=EVT002\n"
+        )
+        assert "EVT002" not in rule_ids(findings)
+
+
+def _pipeline_class(table_count=1, accesses=2):
+    lines = ["class P:", "    def __init__(self, cfg):"]
+    for i in range(table_count):
+        lines.append(
+            f"        self.t{i} = MatchActionTable('t{i}', cfg.max_rus, 48, 8)"
+        )
+    lines.append("        self.reg = RegisterArray('reg', cfg.max_rus, 8)")
+    lines.append("    def _process_pkt(self, frame):")
+    for _ in range(accesses):
+        lines.append("        self.reg.read(0)")
+    lines.append("        return frame")
+    return "\n".join(lines) + "\n"
+
+
+class TestP4BudgetRules:
+    def test_p4r002_table_count(self):
+        findings = lint(_pipeline_class(table_count=33))
+        assert "P4R002" in rule_ids(findings)
+        findings = lint(_pipeline_class(table_count=4))
+        assert "P4R002" not in rule_ids(findings)
+
+    def test_p4r003_register_accesses_per_pass(self):
+        findings = lint(
+            _pipeline_class(accesses=MAX_REGISTER_ACCESSES_PER_PASS + 1)
+        )
+        assert "P4R003" in rule_ids(findings)
+        findings = lint(
+            _pipeline_class(accesses=MAX_REGISTER_ACCESSES_PER_PASS)
+        )
+        assert "P4R003" not in rule_ids(findings)
+
+    def test_p4r001_budget_blows_at_scale(self):
+        # ~5.9k entries exhaust the SRAM budget of one pipeline.
+        findings = lint(_pipeline_class(), num_rus=6000, num_phys=6000)
+        assert "P4R001" in rule_ids(findings)
+        findings = lint(_pipeline_class(), num_rus=256, num_phys=256)
+        assert "P4R001" not in rule_ids(findings)
+
+    def test_rules_inactive_without_pipeline_state(self):
+        findings = lint("x = 1\n", num_rus=10**6, num_phys=10**6)
+        assert not [f for f in findings if f.rule_id.startswith("P4R")]
+
+    def test_summary_helpers(self):
+        tree = ast.parse(_pipeline_class(table_count=2, accesses=3))
+        summary = summarize_program(tree, num_rus=256, num_phys=256)
+        assert set(summary.tables) == {"t0", "t1"}
+        assert summary.tables["t0"] == 256
+        assert summary.registers == {"reg": 256}
+        assert summary.max_accesses("reg") == 3
+
+
+class TestFramework:
+    def test_rule_ids_unique_and_titled(self):
+        rules = all_rules()
+        ids = [r.rule_id for r in rules]
+        assert len(ids) == len(set(ids))
+        for rule in rules:
+            assert rule.title and rule.fix_hint
+            assert isinstance(rule.severity, Severity)
+
+    def test_suppression_in_string_literal_ignored(self):
+        per_line, whole_file = parse_suppressions(
+            's = "# slinglint: disable=DET001"\n'
+        )
+        assert per_line == {} and whole_file == set()
+
+    def test_findings_carry_location_and_hint(self):
+        findings = lint("import time\nt = time.time()\n", path="pkg/mod.py")
+        (finding,) = [f for f in findings if f.rule_id == "DET001"]
+        assert finding.location == "pkg/mod.py:2:5"
+        assert finding.fix_hint
+        assert finding.to_dict()["severity"] == "error"
+
+    def test_unknown_format_rejected(self):
+        from repro.analysis import format_findings
+
+        with pytest.raises(ValueError):
+            format_findings([], fmt="xml")
+
+    def test_in_module_matching(self):
+        ctx = LintContext.for_source("x = 1\n", path="src/repro/sim/rng.py")
+        assert ctx.in_module("sim", "rng.py")
+        assert not ctx.in_module("net", "rng.py")
