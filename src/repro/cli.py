@@ -8,10 +8,12 @@ Usage::
     python -m repro table2 --duration 60 --rates 1 10 20 50
     python -m repro all --quick
     python -m repro lint [paths...]
+    python -m repro chaos [--scenario NAME ...] [--seeds 1 2 3]
 
 Each experiment command runs the corresponding harness from
 :mod:`repro.experiments` and prints its paper-style summary;
-``lint`` runs the :mod:`repro.analysis` static checks (slinglint).
+``lint`` runs the :mod:`repro.analysis` static checks (slinglint);
+``chaos`` sweeps the :mod:`repro.faults` fault-injection matrix.
 """
 
 from __future__ import annotations
@@ -174,12 +176,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis import runner as lint_runner
 
         return lint_runner.main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "chaos":
+        from repro.faults import campaign as chaos_campaign
+
+        return chaos_campaign.main(raw_argv[1:])
     args = build_parser().parse_args(raw_argv)
     if args.experiment == "list":
         print("available experiments:")
         for name, (_, description, _) in EXPERIMENTS.items():
             print(f"  {name:7s} {description}")
         print("  lint    static-analysis pass over src/repro (slinglint)")
+        print("  chaos   fault-injection campaign with recovery invariants")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -77,6 +77,7 @@ class MiddleboxStats:
     dl_filtered: int = 0
     migrations_executed: int = 0
     commands_received: int = 0
+    duplicate_commands_ignored: int = 0
     notifications_sent: int = 0
     unknown_dropped: int = 0
 
@@ -291,6 +292,17 @@ class FronthaulMiddlebox:
         self.stats.commands_received += 1
         if isinstance(payload, MigrateOnSlot):
             if self.config.align_to_tti:
+                # Idempotence guard: Orion retransmits migrate_on_slot
+                # against command loss. A copy arriving after its
+                # migration already committed must not re-arm the
+                # boundary (it would double-commit and corrupt prev_phy).
+                if (
+                    not self.mig_valid.read(payload.ru_id)
+                    and self.ru_to_phy.read(payload.ru_id) == payload.dest_phy_id
+                    and self.last_boundary.read(payload.ru_id) == payload.slot
+                ):
+                    self.stats.duplicate_commands_ignored += 1
+                    return ForwardingDecision.drop(frame)
                 self.mig_dest.write(payload.ru_id, payload.dest_phy_id)
                 self.mig_slot.write(payload.ru_id, payload.slot)
                 self.mig_valid.write(payload.ru_id, 1)

@@ -94,6 +94,19 @@ class OrionConfig:
     #: Slots of draining during which the old primary's responses for
     #: pre-boundary slots are still accepted.
     drain_slots: int = 4
+    #: Upper bound on nulls fabricated for one arrival-time sequence gap
+    #: (a huge jump, e.g. after a pause, must not flood the PHY).
+    max_repair_slots: int = 8
+    #: Response watchdog (§6.2 backstop for gray failures): if the active
+    #: PHY's FAPI responses go silent for this many slots while its
+    #: heartbeats keep the in-switch detector happy, the L2-side Orion
+    #: fails the cell over itself.
+    response_watchdog_slots: int = 8
+    #: Times each migration's command packets are retransmitted (the
+    #: switch command path is lossy under faults; commands are idempotent).
+    command_retx_count: int = 8
+    #: Slots between command retransmissions.
+    command_retx_spacing_slots: int = 1
 
 
 @dataclass
@@ -106,6 +119,14 @@ class OrionStats:
     failovers_handled: int = 0
     bytes_on_wire: int = 0
     queue_max_depth: int = 0
+    #: Failure notifications for cells with no live standby.
+    failovers_impossible: int = 0
+    #: Gap-repair nulls not fabricated because the gap exceeded the cap.
+    repair_slots_dropped: int = 0
+    #: Failovers triggered by the L2-side response watchdog (gray faults).
+    watchdog_failovers: int = 0
+    #: Migration command packets retransmitted.
+    commands_retransmitted: int = 0
 
 
 class _ServiceQueue:
@@ -158,6 +179,14 @@ class CellAssignment:
     #: Servers that failed while serving this cell (placement avoids
     #: them until an operator explicitly revives them).
     failed_phys: Set[int] = field(default_factory=set)
+    #: Response watchdog state: when the active PHY last produced an
+    #: accepted FAPI response (None until one is seen, reset on migration).
+    last_response_ns: Optional[int] = None
+    #: Whether a watchdog check event is already scheduled for this cell.
+    watchdog_pending: bool = False
+    #: Monotonic migration counter; stale command retransmissions carry
+    #: an older value and are discarded.
+    migration_seq: int = 0
 
 
 class PhySideOrion(Process):
@@ -236,7 +265,11 @@ class PhySideOrion(Process):
         self._start_watchdog()
         if last is None or message.slot <= last + 1:
             return []
-        missing = range(last + 1, min(message.slot, last + 1 + 8))
+        cap = self.config.max_repair_slots
+        missing = range(last + 1, min(message.slot, last + 1 + cap))
+        dropped = (message.slot - last - 1) - len(missing)
+        if dropped > 0:
+            self.stats.repair_slots_dropped += dropped
         nulls = [make_null(message.cell_id, slot) for slot in missing]
         self.nulls_injected += len(nulls)
         if self.trace is not None and nulls:
@@ -457,11 +490,85 @@ class L2SideOrion(Process):
             return
         if self._accept_response(assignment, datagram):
             self.stats.messages_relayed += 1
+            active, _ = self._roles_for_slot(assignment, message.slot)
+            if datagram.phy_id == active:
+                self._note_response(assignment)
             channel = self.shm_to_l2_by_cell.get(message.cell_id, self.shm_to_l2)
             if channel is not None and not isinstance(message, SlotIndication):
                 channel.send(message)
         else:
             self.stats.responses_dropped += 1
+
+    # ------------------------------------------------------------------
+    # Response watchdog (gray-failure backstop, §6.2)
+    # ------------------------------------------------------------------
+    # A hung PHY keeps emitting fronthaul heartbeats — the in-switch
+    # detector sees a healthy server — while its FAPI responses stop.
+    # The L2-side Orion is the one vantage point that observes the
+    # response stream, so it runs a per-cell silence watchdog: if the
+    # active PHY produces no accepted response for
+    # ``response_watchdog_slots`` slots, Orion fails the cell over
+    # without waiting for a switch notification that will never come.
+    def _watchdog_threshold_ns(self) -> int:
+        return self.config.response_watchdog_slots * self.slot_clock.slot_duration_ns
+
+    def _note_response(self, assignment: CellAssignment) -> None:
+        assignment.last_response_ns = self.now
+        if not assignment.watchdog_pending:
+            assignment.watchdog_pending = True
+            self.sim.schedule(
+                self._watchdog_threshold_ns(),
+                self._watchdog_check,
+                assignment,
+                label=f"{self.name}.response-watchdog",
+            )
+
+    def _watchdog_check(self, assignment: CellAssignment) -> None:
+        assignment.watchdog_pending = False
+        if assignment.migration_slot is not None:
+            return  # A migration is in flight; it resets the tracking.
+        last = assignment.last_response_ns
+        if last is None:
+            return
+        if self.now - last < self._watchdog_threshold_ns():
+            # Fresh responses arrived; re-check when the current silence
+            # window would expire.
+            assignment.watchdog_pending = True
+            self.sim.at(
+                last + self._watchdog_threshold_ns(),
+                self._watchdog_check,
+                assignment,
+                label=f"{self.name}.response-watchdog",
+            )
+            return
+        # Silence exceeded the threshold: the active PHY is gray-failed.
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "orion.response_watchdog_fired",
+                cell=assignment.cell_id,
+                phy=assignment.primary_phy,
+                silent_ns=self.now - last,
+            )
+        if assignment.secondary_phy is None:
+            self.stats.failovers_impossible += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.now,
+                    "orion.failover_impossible",
+                    cell=assignment.cell_id,
+                    phy=assignment.primary_phy,
+                )
+            return
+        self.stats.watchdog_failovers += 1
+        self.stats.failovers_handled += 1
+        self._start_migration(
+            assignment,
+            dest=assignment.secondary_phy,
+            boundary=self.slot_clock.slot_at(self.now)
+            + self.config.failover_slot_margin,
+            failover=True,
+        )
 
     def _accept_response(
         self, assignment: CellAssignment, datagram: OrionDatagram
@@ -502,10 +609,20 @@ class L2SideOrion(Process):
         for assignment in self.cells.values():
             if assignment.primary_phy != notification.phy_id:
                 continue
-            if assignment.secondary_phy is None:
-                continue
             if assignment.migration_slot is not None:
                 continue  # A migration is already in flight.
+            if assignment.secondary_phy is None:
+                # Degraded mode: the cell is down until an operator
+                # intervenes — make that observable instead of silent.
+                self.stats.failovers_impossible += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        self.now,
+                        "orion.failover_impossible",
+                        cell=assignment.cell_id,
+                        phy=notification.phy_id,
+                    )
+                continue
             self.stats.failovers_handled += 1
             self._start_migration(
                 assignment,
@@ -538,14 +655,35 @@ class L2SideOrion(Process):
         assignment.migration_dest = dest
         assignment.draining_phy = None if failover else assignment.primary_phy
         assignment.drain_until_slot = boundary + self.config.drain_slots
+        assignment.migration_seq += 1
+        # The response watchdog re-arms on the new primary's first output.
+        assignment.last_response_ns = None
         old_primary = assignment.primary_phy
-        # Trigger the fronthaul flip in the switch data plane.
-        self._send_command(
-            MigrateOnSlot(ru_id=assignment.ru_id, dest_phy_id=dest, slot=boundary)
+        commands = (
+            # Trigger the fronthaul flip in the switch data plane.
+            MigrateOnSlot(ru_id=assignment.ru_id, dest_phy_id=dest, slot=boundary),
+            # Re-arm monitoring: watch the new primary, stop watching the old.
+            SetMonitor(phy_id=old_primary, enabled=False),
+            SetMonitor(phy_id=dest, enabled=True),
         )
-        # Re-arm monitoring: watch the new primary, stop watching the old.
-        self._send_command(SetMonitor(phy_id=old_primary, enabled=False))
-        self._send_command(SetMonitor(phy_id=dest, enabled=True))
+        for command in commands:
+            self._send_command(command)
+        # The command path is a single unacknowledged packet each; under
+        # injected loss the migration would silently never commit. The
+        # commands are idempotent (the switch ignores duplicates of an
+        # already-committed boundary), so blind retransmission is safe.
+        spacing = (
+            self.config.command_retx_spacing_slots * self.slot_clock.slot_duration_ns
+        )
+        for attempt in range(1, self.config.command_retx_count + 1):
+            self.sim.schedule(
+                attempt * spacing,
+                self._retransmit_commands,
+                assignment,
+                assignment.migration_seq,
+                commands,
+                label=f"{self.name}.cmd-retx",
+            )
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -609,6 +747,15 @@ class L2SideOrion(Process):
             self.trace.record(
                 self.now, "orion.secondary_initialized", cell=cell_id, phy=phy_id
             )
+
+    def _retransmit_commands(
+        self, assignment: CellAssignment, seq: int, commands: tuple
+    ) -> None:
+        if assignment.migration_seq != seq:
+            return  # Superseded by a newer migration.
+        for command in commands:
+            self._send_command(command)
+        self.stats.commands_retransmitted += len(commands)
 
     def _send_command(self, command) -> None:
         """Send a Slingshot command packet into the switch."""

@@ -1,0 +1,153 @@
+"""Recovery invariants over a run's canonical trace.
+
+The chaos campaign's pass/fail verdicts come from here, not from
+eyeballing throughput plots. Each check consumes
+``TraceRecorder.canonical_events()`` (so verdicts are independent of the
+engine's arbitrary same-timestamp serialization) and states one property
+Slingshot promises under faults:
+
+* **bounded downtime** — the app-level probe flow's largest delivery gap
+  inside the measurement window stays under the scenario's budget;
+* **exactly-once migration** — each injected failure commits exactly the
+  expected number of fronthaul flips, however many duplicated or
+  retransmitted commands and notifications were in flight;
+* **no stale frames** — after a boundary commits, the RU never sees two
+  PHY sources in one slot, and its downlink source changes exactly once
+  per committed migration;
+* **degraded-mode visibility** — when no standby exists, the failure is
+  reported (``orion.failover_impossible``) rather than silently eaten.
+
+Seed-stability of the trace digest is checked by the campaign itself
+(it replays the run and compares digests — an invariant *between* runs,
+not within one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.trace import TraceEvent
+
+#: Probe delivery events recorded by the campaign's measurement tee.
+PROBE_RX = "chaos.rx"
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    name: str
+    passed: bool
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed, "detail": self.detail}
+
+
+class RecoveryInvariants:
+    """Checks one run's canonical trace against its scenario's promises."""
+
+    def __init__(
+        self,
+        events: Sequence[TraceEvent],
+        *,
+        window_start_ns: int,
+        window_end_ns: int,
+        downtime_budget_ns: Optional[int],
+        expected_migrations: int,
+        expect_failover_impossible: bool = False,
+    ) -> None:
+        self.events = events
+        self.window_start_ns = window_start_ns
+        self.window_end_ns = window_end_ns
+        self.downtime_budget_ns = downtime_budget_ns
+        self.expected_migrations = expected_migrations
+        self.expect_failover_impossible = expect_failover_impossible
+
+    # ------------------------------------------------------------------
+    def _times(self, category: str) -> List[int]:
+        return [e.time for e in self.events if e.category == category]
+
+    def _of(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    # ------------------------------------------------------------------
+    def max_probe_gap_ns(self) -> Optional[int]:
+        """Largest probe inter-delivery gap in the measurement window,
+        with the window edges counting as virtual deliveries (so a flow
+        that dies mid-window is charged up to the window end)."""
+        arrivals = [
+            t
+            for t in self._times(PROBE_RX)
+            if self.window_start_ns <= t <= self.window_end_ns
+        ]
+        if not arrivals:
+            return None
+        points = [self.window_start_ns] + arrivals + [self.window_end_ns]
+        return max(b - a for a, b in zip(points, points[1:]))
+
+    def check_bounded_downtime(self) -> InvariantResult:
+        name = "bounded_downtime"
+        if self.downtime_budget_ns is None:
+            return InvariantResult(name, True, "skipped (no live standby)")
+        gap = self.max_probe_gap_ns()
+        if gap is None:
+            return InvariantResult(name, False, "no probe deliveries in window")
+        detail = (
+            f"max probe gap {gap / 1e6:.2f} ms"
+            f" (budget {self.downtime_budget_ns / 1e6:.2f} ms)"
+        )
+        return InvariantResult(name, gap <= self.downtime_budget_ns, detail)
+
+    # ------------------------------------------------------------------
+    def check_exactly_once_migration(self) -> InvariantResult:
+        name = "exactly_once_migration"
+        committed = len(self._of("mbox.migration_committed"))
+        detail = (
+            f"{committed} committed (expected {self.expected_migrations})"
+        )
+        return InvariantResult(name, committed == self.expected_migrations, detail)
+
+    # ------------------------------------------------------------------
+    def check_no_stale_frames(self) -> InvariantResult:
+        """Post-boundary isolation at the RU: no slot ever mixes two PHY
+        sources, and the downlink source flips exactly once per
+        committed migration (the first event, from source None, is the
+        initial binding, not a flip)."""
+        name = "no_stale_frames"
+        conflicts = len(self._of("ru.conflicting_sources"))
+        changes = [
+            e
+            for e in self._of("ru.source_changed")
+            if e.get("previous") is not None
+        ]
+        committed = len(self._of("mbox.migration_committed"))
+        problems = []
+        if conflicts:
+            problems.append(f"{conflicts} conflicting-source slots")
+        if len(changes) != committed:
+            problems.append(
+                f"{len(changes)} source transitions vs {committed} commits"
+            )
+        detail = "; ".join(problems) if problems else (
+            f"{committed} commits, {len(changes)} transitions, 0 conflicts"
+        )
+        return InvariantResult(name, not problems, detail)
+
+    # ------------------------------------------------------------------
+    def check_degraded_mode_visible(self) -> InvariantResult:
+        name = "degraded_mode_visible"
+        if not self.expect_failover_impossible:
+            return InvariantResult(name, True, "not applicable")
+        count = len(self._of("orion.failover_impossible"))
+        return InvariantResult(
+            name, count >= 1, f"{count} failover_impossible events"
+        )
+
+    # ------------------------------------------------------------------
+    def check_all(self) -> List[InvariantResult]:
+        return [
+            self.check_bounded_downtime(),
+            self.check_exactly_once_migration(),
+            self.check_no_stale_frames(),
+            self.check_degraded_mode_visible(),
+        ]

@@ -90,6 +90,8 @@ class RadioUnit(Process):
         self._dl_data: Dict[int, List[UplaneDownlink]] = {}
         #: PHY source ids seen per slot (compliance check).
         self._sources_per_slot: Dict[int, Set[int]] = {}
+        #: Most recent downlink source PHY (None until the first frame).
+        self._last_source_phy: Optional[int] = None
         self._started = False
 
     def start(self) -> None:
@@ -123,6 +125,20 @@ class RadioUnit(Process):
             self._dl_data.setdefault(payload.abs_slot, []).append(payload)
 
     def _record_source(self, abs_slot: int, source_phy_id: int) -> None:
+        if source_phy_id != self._last_source_phy:
+            # Compact handover audit trail: one event per PHY transition
+            # (invariant checkers compare these against committed
+            # migrations to spot stale post-boundary sources).
+            if self.trace is not None:
+                self.trace.record(
+                    self.now,
+                    "ru.source_changed",
+                    ru=self.ru_id,
+                    slot=abs_slot,
+                    source=source_phy_id,
+                    previous=self._last_source_phy,
+                )
+            self._last_source_phy = source_phy_id
         sources = self._sources_per_slot.setdefault(abs_slot, set())
         before = len(sources)
         sources.add(source_phy_id)

@@ -22,6 +22,21 @@ class NetworkEndpoint(Protocol):
         """Handle an arriving frame. ``ingress`` identifies the delivering link."""
 
 
+class LinkImpairmentHook(Protocol):
+    """Fault-injection hook invoked once per transmitted frame.
+
+    Returns the deliveries to schedule as ``(arrival_time, frame)``
+    pairs: an empty list drops the frame, two entries duplicate it, a
+    shifted time reorders it, and a substituted frame corrupts it. The
+    unimpaired behaviour is ``[(arrival, frame)]``.
+    """
+
+    def on_transmit(
+        self, link: "Link", frame: EthernetFrame, arrival: int
+    ) -> "list[tuple[int, EthernetFrame]]":
+        """Decide the fate of one frame whose nominal arrival is ``arrival``."""
+
+
 class Link:
     """One direction of a network link.
 
@@ -57,6 +72,8 @@ class Link:
         #: Counters for accounting (used by overhead analyses).
         self.frames_sent = 0
         self.bytes_sent = 0
+        #: Optional fault-injection hook (see :class:`LinkImpairmentHook`).
+        self.impairment: Optional[LinkImpairmentHook] = None
 
     def connect(self, endpoint: NetworkEndpoint) -> None:
         """Attach the receiving endpoint (allows two-phase wiring)."""
@@ -82,6 +99,12 @@ class Link:
         arrival = tx_done + self.latency_ns
         self.frames_sent += 1
         self.bytes_sent += frame.wire_bytes
+        if self.impairment is not None:
+            for when, delivered in self.impairment.on_transmit(self, frame, arrival):
+                self.sim.at(
+                    when, self._deliver, delivered, label=f"{self.name}.deliver"
+                )
+            return arrival
         self.sim.at(arrival, self._deliver, frame, label=f"{self.name}.deliver")
         return arrival
 

@@ -76,6 +76,37 @@ class PtpClock:
             )
             self.syncs_applied += 1
 
+    # --- Fault injection --------------------------------------------------
+    def apply_step(self, true_time: int, step_ns: float) -> None:
+        """Inject a phase step (e.g. a bad grandmaster update). The servo
+        pulls the offset back at the next sync; until then every reading
+        is shifted by ``step_ns``."""
+        self._sync_if_due(true_time)
+        self._base_offset_ns += float(step_ns)
+
+    def set_drift_ppm(self, true_time: int, drift_ppm: float) -> None:
+        """Override the oscillator's drift rate from ``true_time`` on
+        (e.g. thermal runaway). Accrued offset up to now is preserved."""
+        self._sync_if_due(true_time)
+        accrued = self.offset_ns(true_time)
+        self._base_offset_ns = accrued
+        self._last_sync_ns = true_time
+        if not self.disciplined:
+            self.epoch_ns = true_time
+        self._drift = float(drift_ppm)
+
+    def set_disciplined(self, true_time: int, disciplined: bool) -> None:
+        """Enter or leave holdover (PTP sync lost / restored)."""
+        if disciplined == self.disciplined:
+            return
+        accrued = self.offset_ns(true_time)
+        self._base_offset_ns = accrued
+        # Re-anchor both references so no drift double-counts and the
+        # servo does not replay a burst of missed sync intervals.
+        self._last_sync_ns = true_time
+        self.epoch_ns = true_time
+        self.disciplined = disciplined
+
     def offset_ns(self, true_time: int) -> float:
         """Current clock error: local reading minus true time."""
         self._sync_if_due(true_time)

@@ -163,6 +163,11 @@ class PhyProcess(Process):
         self.cells: Dict[int, PhyCellContext] = {}
         self.cpu = PhyCpuStats()
         self.alive = True
+        #: Gray failure: wedged worker threads — the transmit thread's
+        #: heartbeats continue but FAPI output stops (set via hang()).
+        self.hung = False
+        #: Gray failure: extra per-slot uplink pipeline latency.
+        self.service_inflation_ns = 0
         #: FAPI channel back toward the L2 / Orion peer.
         self.fapi_tx: Optional[ShmChannel] = None
         self._pending: List[EventHandle] = []
@@ -185,6 +190,28 @@ class PhyProcess(Process):
         if self.trace is not None:
             self.trace.record(self.now, "phy.crash", phy=self.phy_id, reason=reason)
 
+    def hang(self, reason: str = "wedged") -> None:
+        """Gray failure: the PHY worker pool wedges (e.g. a deadlocked
+        pipeline stage) while the realtime transmit thread keeps sending
+        fronthaul heartbeats — invisible to the in-switch detector."""
+        if not self.alive or self.hung:
+            return
+        # In-flight emissions and pipeline stages complete (only *new*
+        # work wedges) — cancelling them would tear a hole in the
+        # heartbeat cadence that the in-switch detector would see, and a
+        # hang is precisely the failure it cannot see.
+        self.hung = True
+        if self.trace is not None:
+            self.trace.record(self.now, "phy.hang", phy=self.phy_id, reason=reason)
+
+    def unhang(self) -> None:
+        """Clear a hang (the wedged stage recovers)."""
+        if not self.hung:
+            return
+        self.hung = False
+        if self.trace is not None:
+            self.trace.record(self.now, "phy.unhang", phy=self.phy_id)
+
     def restart(self, decoder_iterations: Optional[int] = None) -> None:
         """Bring the process back up, empty (used for upgrade rollarounds).
 
@@ -201,6 +228,8 @@ class PhyProcess(Process):
         self.snr_filter = SnrMovingAverage()
         self.cells.clear()
         self.alive = True
+        self.hung = False
+        self.service_inflation_ns = 0
         self._schedule_next_slot()
         if self.trace is not None:
             self.trace.record(self.now, "phy.restart", phy=self.phy_id)
@@ -306,6 +335,18 @@ class PhyProcess(Process):
     def _process_cell_slot(self, cell: PhyCellContext, abs_slot: int) -> None:
         ul_req = cell.ul_tti.pop(abs_slot, None)
         dl_req = cell.dl_tti.pop(abs_slot, None)
+        if self.hung:
+            # Wedged workers: requests are consumed but never processed
+            # and no FAPI response is produced; only the transmit
+            # thread's heartbeat C-plane still reaches the fronthaul.
+            self._emit_downlink(cell, abs_slot, [], [])
+            stale = abs_slot - self.config.ul_pipeline_slots
+            cell.captures = {k: v for k, v in cell.captures.items() if k[0] > stale}
+            cell.feedback_only = {
+                s: v for s, v in cell.feedback_only.items() if s > stale
+            }
+            cell.bsr = {s: v for s, v in cell.bsr.items() if s > stale}
+            return
         if ul_req is None and dl_req is None:
             cell.consecutive_missing_tti += 1
             if cell.consecutive_missing_tti >= self.config.max_missing_tti_slots:
@@ -331,9 +372,11 @@ class PhyProcess(Process):
         if ul_pdus or True:
             # Uplink slot results surface after the processing pipeline,
             # even when only control (feedback) was captured.
-            done_at = self.slot_clock.slot_start(
-                abs_slot + self.config.ul_pipeline_slots
-            ) + 120 * US
+            done_at = (
+                self.slot_clock.slot_start(abs_slot + self.config.ul_pipeline_slots)
+                + 120 * US
+                + self.service_inflation_ns
+            )
             handle = self.sim.at(
                 done_at,
                 self._finish_uplink,

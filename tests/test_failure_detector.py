@@ -70,6 +70,51 @@ class TestDetection:
             detector.on_timer_tick(tick)
         assert len(detections) == 2
 
+    def test_heartbeat_at_threshold_minus_one_prevents_detection(self):
+        """A heartbeat landing when the counter sits at ``threshold - 1``
+        (one tick from saturation) must reset it — detection then needs a
+        full fresh timeout window, not just the one remaining tick."""
+        detector, detections = self._detector()
+        threshold = detector.config.ticks_per_timeout
+        detector.set_monitor(4, True)
+        for tick in range(threshold - 1):
+            detector.on_timer_tick(tick)
+        assert detector.counters.read(4) == threshold - 1
+        assert detections == []
+        detector.on_heartbeat(4)  # Last-instant save.
+        assert detector.counters.read(4) == 0
+        # The tick that would have saturated the counter now moves it to 1.
+        detector.on_timer_tick(threshold - 1)
+        assert detections == []
+        # Silence from here: detection needs threshold further ticks, not one.
+        for tick in range(threshold, 2 * threshold - 2):
+            detector.on_timer_tick(tick)
+        assert detections == []
+        detector.on_timer_tick(2 * threshold - 1)
+        assert [phy for phy, _ in detections] == [4]
+
+    def test_rearm_reported_phy_after_secondary_replacement(self):
+        """Secondary replacement re-arms a previously reported PHY id
+        (the revived server returns as the new hot standby): the stale
+        ``_reported`` entry must clear — counted as a re-arm — and the
+        PHY must be detectable a second time."""
+        detector, detections = self._detector()
+        detector.set_monitor(0, True)
+        detector.set_monitor(1, True)
+        for tick in range(100):
+            detector.on_timer_tick(tick)
+            detector.on_heartbeat(1)  # Standby healthy; primary 0 dies.
+        assert [phy for phy, _ in detections] == [0]
+        # Replacement: Orion promotes 1, revives 0 as the new standby.
+        detector.set_monitor(0, True)
+        assert detector.stats.false_positives_rearmed == 1
+        assert detector.counters.read(0) == 0
+        for tick in range(100, 200):
+            detector.on_timer_tick(tick)
+            detector.on_heartbeat(1)
+        assert [phy for phy, _ in detections] == [0, 0]
+        assert detector.stats.failures_detected == 2
+
     def test_disarm_stops_monitoring(self):
         detector, detections = self._detector()
         detector.set_monitor(3, True)

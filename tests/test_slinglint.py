@@ -77,6 +77,51 @@ class TestDeterminismRules:
         findings = lint("def f(rng):\n    return rng.uniform(0, 1)\n")
         assert "DET004" not in rule_ids(findings)
 
+    def test_det005_namespaced_stream_allowed(self):
+        findings = lint(
+            'def f(rng):\n    return rng.stream("faults.link.fh")\n',
+            path="src/repro/faults/injector.py",
+        )
+        assert "DET005" not in rule_ids(findings)
+
+    def test_det005_fstring_prefix_allowed(self):
+        findings = lint(
+            "def f(rng, link):\n"
+            '    return rng.stream(f"faults.link.{link.name}")\n',
+            path="src/repro/faults/injector.py",
+        )
+        assert "DET005" not in rule_ids(findings)
+
+    def test_det005_foreign_namespace_flagged(self):
+        findings = lint(
+            'def f(rng):\n    return rng.stream("channel.snr")\n',
+            path="src/repro/faults/injector.py",
+        )
+        assert "DET005" in rule_ids(findings)
+
+    def test_det005_dynamic_name_flagged(self):
+        """A fully dynamic stream name can't be proven namespaced."""
+        findings = lint(
+            "def f(rng, name):\n    return rng.stream(name)\n",
+            path="src/repro/faults/link_faults.py",
+        )
+        assert "DET005" in rule_ids(findings)
+
+    def test_det005_fstring_without_static_prefix_flagged(self):
+        findings = lint(
+            "def f(rng, name):\n"
+            '    return rng.stream(f"{name}.jitter")\n',
+            path="src/repro/faults/injector.py",
+        )
+        assert "DET005" in rule_ids(findings)
+
+    def test_det005_inactive_outside_faults_package(self):
+        findings = lint(
+            'def f(rng):\n    return rng.stream("channel.snr")\n',
+            path="src/repro/phy/channel.py",
+        )
+        assert "DET005" not in rule_ids(findings)
+
 
 class TestTimeUnitRules:
     def test_tim001_float_literal_delay(self):
