@@ -53,8 +53,9 @@ class WallClockRule(LintRule):
     title = "wall-clock read"
     severity = Severity.ERROR
     fix_hint = (
-        "use Simulator.now (simulated ns); user-facing elapsed-time output "
-        "goes through the single allowlisted helper in cli.py"
+        "use Simulator.now (simulated ns); the only allowlisted wall-clock "
+        "sites are cli.py's elapsed-time helper and repro/perf/timing.py "
+        "(the benchmark harness's sanctioned clock, see PERF001)"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:

@@ -1,0 +1,65 @@
+"""Perf-package rules (PERF0xx).
+
+The perf subsystem is the one part of the tree that *must* read the host
+wall clock — that is what a benchmark harness does — but letting each
+benchmark call ``time.*`` directly would scatter ad-hoc clock choices
+(``time.time`` vs ``monotonic`` vs ``perf_counter``) through measurement
+code and make the DET001 allowlist unauditable. So all wall-time reads
+inside ``repro/perf/`` flow through the sanctioned helper module
+:mod:`repro.perf.timing` (itself carrying the DET001 suppression), and
+PERF001 enforces the funnel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
+
+#: The single module inside repro/perf allowed to touch ``time``.
+_SANCTIONED = ("perf", "timing.py")
+
+
+@register_rule
+class PerfTimingFunnelRule(LintRule):
+    """PERF001: perf code reads wall time only via ``repro.perf.timing``.
+
+    Flags any ``import time`` / ``from time import ...`` and any
+    ``time.<fn>()`` call in ``repro/perf/`` outside ``timing.py``.
+    """
+
+    rule_id = "PERF001"
+    title = "direct time.* use in perf package"
+    severity = Severity.ERROR
+    fix_hint = (
+        "call repro.perf.timing.wall_ns() / wall_seconds_since(); only "
+        "perf/timing.py may touch the time module"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.module_parts or ctx.module_parts[0] != "perf":
+            return
+        if ctx.in_module(*_SANCTIONED):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" or alias.name.startswith("time."):
+                        yield self.finding(
+                            ctx, node, "import of the time module in perf code"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    yield self.finding(
+                        ctx, node, "import from the time module in perf code"
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and (
+                    name == "time" or name.startswith("time.")
+                ):
+                    yield self.finding(
+                        ctx, node, f"direct wall-clock call {name}() in perf code"
+                    )

@@ -9,11 +9,13 @@ Usage::
     python -m repro all --quick
     python -m repro lint [paths...]
     python -m repro chaos [--scenario NAME ...] [--seeds 1 2 3]
+    python -m repro perf [--quick] [--check]
 
 Each experiment command runs the corresponding harness from
 :mod:`repro.experiments` and prints its paper-style summary;
 ``lint`` runs the :mod:`repro.analysis` static checks (slinglint);
-``chaos`` sweeps the :mod:`repro.faults` fault-injection matrix.
+``chaos`` sweeps the :mod:`repro.faults` fault-injection matrix;
+``perf`` runs the :mod:`repro.perf` benchmark harness.
 """
 
 from __future__ import annotations
@@ -164,8 +166,10 @@ def _defaults_for(name: str, args) -> None:
 def _wall_seconds() -> float:
     """Host wall-clock seconds, for user-facing elapsed-time output only.
 
-    This is the single allowlisted wall-clock call site in the package
-    (simulation logic must use Simulator.now): DET001 enforces that.
+    One of the two allowlisted wall-clock sites in the package — the
+    other is :mod:`repro.perf.timing`, the benchmark harness's sanctioned
+    clock. Simulation logic must use Simulator.now; DET001 enforces that,
+    and PERF001 funnels perf code through the timing helper.
     """
     return time.time()  # slinglint: disable=DET001
 
@@ -180,6 +184,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.faults import campaign as chaos_campaign
 
         return chaos_campaign.main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "perf":
+        from repro.perf import runner as perf_runner
+
+        return perf_runner.main(raw_argv[1:])
     args = build_parser().parse_args(raw_argv)
     if args.experiment == "list":
         print("available experiments:")
@@ -187,6 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name:7s} {description}")
         print("  lint    static-analysis pass over src/repro (slinglint)")
         print("  chaos   fault-injection campaign with recovery invariants")
+        print("  perf    micro/macro benchmark harness with --check gate")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

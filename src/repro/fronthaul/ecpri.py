@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from repro.phy.numerology import SlotAddress
@@ -62,7 +63,28 @@ def encode_header(
     symbol: int = 0,
     section_type: int = SECTION_TYPE_UL,
 ) -> bytes:
-    """Pack the eCPRI common header + O-RAN application header."""
+    """Pack the eCPRI common header + O-RAN application header.
+
+    Memoized: fronthaul traffic re-emits the same header for every packet
+    of a (slot, section) burst with only the 8-bit sequence rolling, so a
+    bounded cache turns repeat packs into a dict hit. Header encoding is
+    a pure function of its arguments, making the cache behavior-invisible.
+    """
+    return _encode_header_cached(
+        message_type, payload_bytes, eaxc_id, sequence, address, symbol, section_type
+    )
+
+
+@lru_cache(maxsize=8192)
+def _encode_header_cached(
+    message_type: int,
+    payload_bytes: int,
+    eaxc_id: int,
+    sequence: int,
+    address: SlotAddress,
+    symbol: int,
+    section_type: int,
+) -> bytes:
     if not 0 <= address.frame < 1024:
         raise EcpriCodecError(f"frame {address.frame} out of range")
     if not 0 <= address.subframe < 10:
@@ -90,7 +112,17 @@ def encode_header(
 
 
 def decode_header(data: bytes) -> EcpriHeader:
-    """Parse the header; inverse of :func:`encode_header`."""
+    """Parse the header; inverse of :func:`encode_header`.
+
+    Memoized on the (immutable) header bytes: a burst of fronthaul
+    packets repeats the same 9-byte header, and :class:`EcpriHeader` is
+    frozen, so returning the cached instance is behavior-invisible.
+    """
+    return _decode_header_cached(bytes(data[: HEADER_BYTES]) if len(data) > HEADER_BYTES else bytes(data))
+
+
+@lru_cache(maxsize=8192)
+def _decode_header_cached(data: bytes) -> EcpriHeader:
     if len(data) < _COMMON.size + _APP.size:
         raise EcpriCodecError("truncated fronthaul header")
     rev_flags, message_type, payload_bytes, eaxc_id = _COMMON.unpack_from(data, 0)
@@ -116,9 +148,25 @@ def decode_header(data: bytes) -> EcpriHeader:
 
 def parse_timing_fields(data: bytes) -> Tuple[int, int, int]:
     """Extract only (frame, subframe, slot) — the switch data plane's
-    minimal parse for migrate_on_slot matching (§5.1)."""
-    header = decode_header(data)
-    return header.address.frame, header.address.subframe, header.address.slot
+    minimal parse for migrate_on_slot matching (§5.1).
+
+    Fast path: touches just the three app-header bytes that carry the
+    timing fields (after the same length/revision validation the full
+    decoder performs), mirroring how a P4 parser would extract them
+    without materializing the whole header.
+    """
+    if len(data) < HEADER_BYTES:
+        raise EcpriCodecError("truncated fronthaul header")
+    rev = data[0] >> 4
+    if rev != ECPRI_REVISION:
+        raise EcpriCodecError(f"unsupported eCPRI revision {rev}")
+    frame_hi = data[7]
+    frame_lo_sub = data[8]
+    slot_sym = data[9]
+    frame = (frame_hi << 2) | (frame_lo_sub >> 6)
+    subframe = (frame_lo_sub >> 2) & 0xF
+    slot = (((frame_lo_sub & 0x3) << 4) | (slot_sym >> 4)) & 0x3F
+    return frame, subframe, slot
 
 
 HEADER_BYTES = _COMMON.size + _APP.size

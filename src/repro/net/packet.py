@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.net.addresses import MacAddress
@@ -40,25 +39,35 @@ class EtherType(enum.IntEnum):
 _frame_ids = itertools.count(1)
 
 
-@dataclass
 class EthernetFrame:
     """A simulated Ethernet frame.
 
     ``payload`` is any Python object (typed messages defined by each
     protocol module); ``wire_bytes`` is the frame's on-the-wire size used
     for link timing.
+
+    Frames are identity objects created once per hop on the simulation's
+    hottest allocation path, so this is a ``__slots__`` class rather than
+    a dataclass: no per-instance ``__dict__``, no generated ``__eq__``
+    machinery, one C-level attribute store per field.
     """
 
-    src: MacAddress
-    dst: MacAddress
-    ethertype: EtherType
-    payload: Any
-    wire_bytes: int = MIN_FRAME_BYTES
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = ("src", "dst", "ethertype", "payload", "wire_bytes", "frame_id")
 
-    def __post_init__(self) -> None:
-        if self.wire_bytes < MIN_FRAME_BYTES:
-            self.wire_bytes = MIN_FRAME_BYTES
+    def __init__(
+        self,
+        src: MacAddress,
+        dst: MacAddress,
+        ethertype: EtherType,
+        payload: Any,
+        wire_bytes: int = MIN_FRAME_BYTES,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.ethertype = ethertype
+        self.payload = payload
+        self.wire_bytes = wire_bytes if wire_bytes >= MIN_FRAME_BYTES else MIN_FRAME_BYTES
+        self.frame_id = next(_frame_ids)
 
     def copy_to(self, dst: MacAddress) -> "EthernetFrame":
         """Clone the frame with a rewritten destination (switch forwarding)."""

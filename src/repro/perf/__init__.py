@@ -1,0 +1,53 @@
+"""Performance subsystem — ``python -m repro perf``.
+
+The ROADMAP north star is a simulator that "runs as fast as the hardware
+allows"; this package is the measurement side of that promise. It
+provides:
+
+* :mod:`repro.perf.timing` — the *sanctioned* wall-clock helper. All
+  wall-time reads inside this package go through :func:`~repro.perf.timing.wall_ns`
+  (enforced by slinglint rule PERF001); simulation logic still never
+  touches a wall clock (DET001).
+* :mod:`repro.perf.scenarios` — deterministic scenario runners (fig9,
+  fig10 smoke, chaos scenarios) shared by the macro benchmarks and the
+  digest-equivalence regression tests. Their canonical trace digests are
+  golden: any perf optimization must leave them bit-identical.
+* :mod:`repro.perf.sampler` — a lightweight sampling profiler hooked on
+  ``Simulator._pop`` that attributes wall time to subsystems
+  (``repro.sim``, ``repro.phy``, ...) without instrumenting every event.
+* :mod:`repro.perf.harness` — micro/macro benchmark harness reporting
+  events/sec and sim-time/wall-time ratios, with a ``--check``
+  regression gate against ``benchmarks/BENCH_perf.json``.
+* :mod:`repro.perf.benchmarks` — the named benchmark catalog, including
+  legacy/reference implementations of the event engine and FAPI codec so
+  the optimization speedups stay measurable forever.
+"""
+
+__all__ = [
+    "BenchmarkResult",
+    "PerfReport",
+    "check_report",
+    "load_report",
+    "run_benchmarks",
+    "DIGEST_SCENARIOS",
+    "scenario_digest",
+]
+
+_HARNESS_NAMES = {
+    "BenchmarkResult", "PerfReport", "check_report", "load_report",
+    "run_benchmarks",
+}
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: the digest tests import the scenario runners
+    # without paying for (or depending on) the harness, and vice versa.
+    if name in _HARNESS_NAMES:
+        from repro.perf import harness
+
+        return getattr(harness, name)
+    if name in ("DIGEST_SCENARIOS", "scenario_digest"):
+        from repro.perf import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

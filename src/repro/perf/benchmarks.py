@@ -1,0 +1,406 @@
+"""The named benchmark catalog for ``python -m repro perf``.
+
+Micro benchmarks time one hot subsystem in isolation (event-engine churn,
+cancel/reschedule watchdog load, FAPI encode/decode, eCPRI header
+framing, link delivery); macro benchmarks time the full-cell scenarios
+from :mod:`repro.perf.scenarios` and also report the sim-time/wall-time
+ratio and the scenario's canonical trace digest.
+
+Two catalog entries exist purely as *baselines*: ``engine_churn_legacy``
+runs the churn workload on the frozen pre-optimization engine
+(:mod:`repro.perf.legacy`) and ``fapi_codec_reference`` runs the codec
+workload through the normative slow paths — the harness derives the
+optimization speedups from these pairs, and ``--check`` gates on them.
+
+Every workload is deterministic: sizes are fixed per (quick, full) mode,
+randomized message content comes from a reserved
+:class:`~repro.sim.rng.RngRegistry` stream, and the macro scenarios use
+the *same* durations in quick and full mode so their digests are
+comparable across modes and across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fapi import codec
+from repro.fapi import messages as m
+from repro.fronthaul import ecpri
+from repro.net.addresses import MacAllocator
+from repro.net.link import Link
+from repro.net.packet import EthernetFrame, EtherType
+from repro.perf.legacy import LegacySimulator
+from repro.perf.scenarios import DIGEST_SCENARIOS
+from repro.perf.timing import wall_ns
+from repro.phy.modulation import Modulation
+from repro.phy.numerology import SlotAddress
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Seed for the benchmark corpus stream (reserved; nothing else uses it).
+CORPUS_SEED = 20260
+
+#: Microsecond per watchdog re-arm / response in the watchdog workload.
+_WATCHDOG_TIMEOUT_NS = 1_000_000
+_WATCHDOG_RESPONSE_NS = 1_000
+
+
+@dataclass
+class RawRun:
+    """One benchmark execution, before the harness derives rates."""
+
+    events: int
+    wall_seconds: float
+    sim_ns: Optional[int] = None
+    digest: Optional[str] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark: ``run(quick)`` returns a :class:`RawRun`."""
+
+    name: str
+    kind: str  # "micro" | "macro"
+    description: str
+    run: Callable[[bool], RawRun]
+    #: For macro specs: the zero-arg scenario runner, re-run under the
+    #: sampler when profiling (separately from the timed run).
+    scenario: Optional[Callable[[], Any]] = None
+
+
+# ----------------------------------------------------------------------
+# Event-engine workloads
+# ----------------------------------------------------------------------
+def _churn_workload(sim: Any, events: int, chains: int = 64) -> RawRun:
+    """Self-rescheduling event chains: the schedule/pop steady state that
+    dominates engine time in long runs. Runs on any engine exposing
+    ``schedule``/``run``/``events_processed``."""
+    remaining = [events]
+    schedule = sim.schedule
+
+    def tick(i: int) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            schedule(100 + (i & 7), tick, i + 1)
+
+    for chain in range(chains):
+        schedule(chain & 3, tick, chain)
+    start = wall_ns()
+    sim.run()
+    wall = (wall_ns() - start) / 1e9
+    return RawRun(events=sim.events_processed, wall_seconds=wall, sim_ns=sim.now)
+
+
+def _run_engine_churn(quick: bool) -> RawRun:
+    return _churn_workload(Simulator(), events=60_000 if quick else 240_000)
+
+
+def _run_engine_churn_legacy(quick: bool) -> RawRun:
+    return _churn_workload(LegacySimulator(), events=60_000 if quick else 240_000)
+
+
+def _run_engine_cancel_watchdog(quick: bool) -> RawRun:
+    """Orion's watchdog pattern: every response cancels the pending
+    timeout and re-arms it, so almost every scheduled event is cancelled.
+    Exercises compaction; ``extra`` records the heap-growth evidence."""
+    responses = 20_000 if quick else 80_000
+    sim = Simulator()
+    state = {"left": responses, "watchdog": None, "timeouts": 0, "max_heap": 0}
+
+    def on_timeout() -> None:
+        state["timeouts"] += 1
+
+    def on_response() -> None:
+        watchdog = state["watchdog"]
+        if watchdog is not None:
+            watchdog.cancel()
+        state["watchdog"] = sim.schedule(_WATCHDOG_TIMEOUT_NS, on_timeout)
+        heap = sim.queued_entries
+        if heap > state["max_heap"]:
+            state["max_heap"] = heap
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.schedule(_WATCHDOG_RESPONSE_NS, on_response)
+
+    # Sole event at t=0; no tie to order against.
+    sim.schedule(0, on_response)  # slinglint: disable=EVT002
+    start = wall_ns()
+    sim.run()
+    wall = (wall_ns() - start) / 1e9
+    return RawRun(
+        events=sim.events_processed,
+        wall_seconds=wall,
+        sim_ns=sim.now,
+        extra={
+            "compactions": float(sim.compactions),
+            "max_heap_entries": float(state["max_heap"]),
+            "timeouts_fired": float(state["timeouts"]),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# FAPI codec workload
+# ----------------------------------------------------------------------
+def build_fapi_corpus(count: int = 400, seed: int = CORPUS_SEED) -> List[m.FapiMessage]:
+    """A deterministic mixed-message corpus (reserved RNG stream)."""
+    rng = RngRegistry(seed).stream("perf.fapi_corpus")
+    modulations = list(Modulation)
+    messages: List[m.FapiMessage] = []
+
+    def pdus(cls: type, slot: int) -> List[Any]:
+        n = int(rng.integers(1, 5))
+        return [
+            cls(
+                ue_id=int(rng.integers(1, 16)),
+                harq_process=int(rng.integers(0, 16)),
+                modulation=modulations[int(rng.integers(0, len(modulations)))],
+                prbs=int(rng.integers(1, 273)),
+                new_data=bool(rng.integers(0, 2)),
+                tb_id=slot * 16 + i,
+                tb_bytes=int(rng.integers(32, 4096)),
+                retx_index=int(rng.integers(0, 4)),
+            )
+            for i in range(n)
+        ]
+
+    def blob() -> bytes:
+        return bytes(rng.integers(0, 256, size=int(rng.integers(8, 96))).tolist())
+
+    for slot in range(count):
+        kind = slot % 8
+        if kind == 0:
+            messages.append(m.UlTtiRequest(cell_id=0, slot=slot, pdus=pdus(m.PuschPdu, slot)))
+        elif kind == 1:
+            messages.append(m.DlTtiRequest(cell_id=0, slot=slot, pdus=pdus(m.PdschPdu, slot)))
+        elif kind == 2:
+            messages.append(
+                m.TxDataRequest(
+                    cell_id=0, slot=slot,
+                    payloads=[(slot * 16 + i, blob()) for i in range(int(rng.integers(1, 4)))],
+                )
+            )
+        elif kind == 3:
+            messages.append(
+                m.RxDataIndication(
+                    cell_id=0, slot=slot,
+                    payloads=[
+                        (int(rng.integers(1, 16)), int(rng.integers(0, 16)),
+                         slot * 16 + i, blob())
+                        for i in range(int(rng.integers(1, 4)))
+                    ],
+                )
+            )
+        elif kind == 4:
+            messages.append(
+                m.CrcIndication(
+                    cell_id=0, slot=slot,
+                    results=[
+                        m.CrcResult(
+                            ue_id=int(rng.integers(1, 16)),
+                            harq_process=int(rng.integers(0, 16)),
+                            tb_id=slot * 16 + i,
+                            crc_ok=bool(rng.integers(0, 2)),
+                            measured_snr_db=float(round(rng.normal(15.0, 3.0), 3)),
+                            retx_index=int(rng.integers(0, 4)),
+                        )
+                        for i in range(int(rng.integers(1, 4)))
+                    ],
+                )
+            )
+        elif kind == 5:
+            messages.append(
+                m.UciIndication(
+                    cell_id=0, slot=slot,
+                    feedback=[
+                        m.HarqFeedback(
+                            ue_id=int(rng.integers(1, 16)),
+                            harq_process=int(rng.integers(0, 16)),
+                            tb_id=slot * 16 + i,
+                            ack=bool(rng.integers(0, 2)),
+                        )
+                        for i in range(int(rng.integers(1, 3)))
+                    ],
+                    bsr_reports=[(int(rng.integers(1, 16)), int(rng.integers(0, 65536)))],
+                )
+            )
+        elif kind == 6:
+            messages.append(m.SlotIndication(cell_id=0, slot=slot))
+        else:
+            messages.append(
+                m.ErrorIndication(
+                    cell_id=0, slot=slot,
+                    error_code=int(rng.integers(1, 8)), detail="missing TTI request",
+                )
+            )
+    return messages
+
+
+def _codec_run(
+    encode: Callable[[m.FapiMessage], bytes],
+    decode: Callable[[bytes], m.FapiMessage],
+    repeats: int,
+) -> RawRun:
+    corpus = build_fapi_corpus()
+    processed = 0
+    start = wall_ns()
+    for _ in range(repeats):
+        for message in corpus:
+            decode(encode(message))
+            processed += 1
+    wall = (wall_ns() - start) / 1e9
+    return RawRun(events=processed, wall_seconds=wall)
+
+
+def _run_fapi_codec(quick: bool) -> RawRun:
+    return _codec_run(codec.encode_message, codec.decode_message, 6 if quick else 24)
+
+
+def _run_fapi_codec_reference(quick: bool) -> RawRun:
+    return _codec_run(
+        codec.encode_message_reference, codec.decode_message_reference,
+        3 if quick else 12,
+    )
+
+
+# ----------------------------------------------------------------------
+# eCPRI framing workload
+# ----------------------------------------------------------------------
+def _run_ecpri_framing(quick: bool) -> RawRun:
+    """Header pack / full parse / timing-field parse over a rolling slot
+    and sequence pattern (the shape a fronthaul burst produces)."""
+    iterations = 30_000 if quick else 120_000
+    addresses = [
+        SlotAddress(frame=(i // 20) % 1024, subframe=(i // 2) % 10, slot=i % 2)
+        for i in range(200)
+    ]
+    encode, decode, parse = (
+        ecpri.encode_header, ecpri.decode_header, ecpri.parse_timing_fields
+    )
+    start = wall_ns()
+    for i in range(iterations):
+        data = encode(
+            ecpri.ECPRI_TYPE_IQ_DATA,
+            payload_bytes=1024 + (i & 0xFF),
+            eaxc_id=i & 0x7,
+            sequence=i & 0xFF,
+            address=addresses[i % 200],
+            symbol=i % 14,
+        )
+        decode(data)
+        parse(data)
+    wall = (wall_ns() - start) / 1e9
+    return RawRun(events=iterations * 3, wall_seconds=wall)
+
+
+# ----------------------------------------------------------------------
+# Link delivery workload
+# ----------------------------------------------------------------------
+class _Collector:
+    """Minimal endpoint counting deliveries."""
+
+    __slots__ = ("received",)
+
+    def __init__(self) -> None:
+        self.received = 0
+
+    def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
+        self.received += 1
+
+
+def _run_link_delivery(quick: bool) -> RawRun:
+    frames = 20_000 if quick else 80_000
+    sim = Simulator()
+    collector = _Collector()
+    link = Link(sim, collector, bandwidth_bps=100e9, latency_ns=1_000, name="bench")
+    allocator = MacAllocator()
+    src, dst = allocator.allocate(), allocator.allocate()
+    payload = object()
+    remaining = [frames]
+
+    def send() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            link.send(EthernetFrame(src, dst, EtherType.ECPRI, payload, wire_bytes=1500))
+            sim.schedule(500, send)
+
+    # Sole event at t=0; no tie to order against.
+    sim.schedule(0, send)  # slinglint: disable=EVT002
+    start = wall_ns()
+    sim.run()
+    wall = (wall_ns() - start) / 1e9
+    return RawRun(
+        events=sim.events_processed,
+        wall_seconds=wall,
+        sim_ns=sim.now,
+        extra={"frames_delivered": float(collector.received)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Macro scenarios
+# ----------------------------------------------------------------------
+def _macro_runner(scenario_name: str) -> Callable[[bool], RawRun]:
+    def run(quick: bool) -> RawRun:
+        # Same durations in quick and full mode: the digest must be
+        # comparable across modes (quick only skips profiling/repeats).
+        runner = DIGEST_SCENARIOS[scenario_name]
+        start = wall_ns()
+        cell = runner()
+        wall = (wall_ns() - start) / 1e9
+        return RawRun(
+            events=cell.sim.events_processed,
+            wall_seconds=wall,
+            sim_ns=cell.sim.now,
+            digest=cell.trace.digest(),
+        )
+
+    return run
+
+
+def _spec(name: str, kind: str, description: str,
+          run: Callable[[bool], RawRun],
+          scenario: Optional[Callable[[], Any]] = None) -> BenchmarkSpec:
+    return BenchmarkSpec(name=name, kind=kind, description=description,
+                         run=run, scenario=scenario)
+
+
+#: Ordered benchmark catalog; iteration order is report order.
+CATALOG: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("engine_churn", "micro",
+              "event-engine schedule/pop churn (tuple heap entries)",
+              _run_engine_churn),
+        _spec("engine_churn_legacy", "micro",
+              "same churn on the frozen pre-optimization engine (baseline)",
+              _run_engine_churn_legacy),
+        _spec("engine_cancel_watchdog", "micro",
+              "watchdog cancel/re-arm load (heap compaction)",
+              _run_engine_cancel_watchdog),
+        _spec("fapi_codec", "micro",
+              "FAPI encode+decode over a mixed message corpus (fast paths)",
+              _run_fapi_codec),
+        _spec("fapi_codec_reference", "micro",
+              "same corpus through the normative reference codec (baseline)",
+              _run_fapi_codec_reference),
+        _spec("ecpri_framing", "micro",
+              "eCPRI header pack/parse + switch timing-field extraction",
+              _run_ecpri_framing),
+        _spec("link_delivery", "micro",
+              "frame serialization + delivery on a 100 GbE link model",
+              _run_link_delivery),
+        _spec("macro_fig9", "macro",
+              "full cell: 3-UE ping through PHY failover (fig 9 shape)",
+              _macro_runner("fig9"), DIGEST_SCENARIOS["fig9"]),
+        _spec("macro_fig10_smoke", "macro",
+              "full cell: UDP iperf uplink through failover (fig 10 smoke)",
+              _macro_runner("fig10_smoke"), DIGEST_SCENARIOS["fig10_smoke"]),
+        _spec("macro_chaos_crash_restart", "macro",
+              "chaos campaign cell: primary crash + restart scenario",
+              _macro_runner("chaos_crash_restart"),
+              DIGEST_SCENARIOS["chaos_crash_restart"]),
+    ]
+}

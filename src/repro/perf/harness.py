@@ -1,0 +1,240 @@
+"""Benchmark harness: run the catalog, report, and regression-gate.
+
+``run_benchmarks`` executes named benchmarks from
+:mod:`repro.perf.benchmarks`, derives events/sec and sim-time/wall-time
+ratios, profiles the macro scenarios with the ``_pop`` sampler, and
+computes the optimization speedups from the optimized/baseline pairs.
+``check_report`` is the ``--check`` gate: it compares a fresh run against
+the committed ``benchmarks/BENCH_perf.json`` and fails on
+
+* a macro scenario whose canonical trace digest changed (behaviour
+  regression — this check is exact, machine-independent, and the reason
+  the perf pass can be trusted);
+* an events/sec rate that fell below ``tolerance`` x the recorded
+  baseline (performance regression — deliberately generous, wall-clock
+  rates vary across machines);
+* an optimization speedup that fell below its gate (the engine-churn
+  speedup is the PR's headline claim and must stay measured).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.perf.benchmarks import CATALOG, BenchmarkSpec, RawRun
+from repro.perf.sampler import PopSampler
+
+#: Required speedup of the optimized engine over the frozen legacy one.
+MIN_ENGINE_SPEEDUP = 1.3
+#: Relaxed gate for --quick runs (shorter workloads, noisier ratios).
+QUICK_MIN_ENGINE_SPEEDUP = 1.1
+#: Codec fast path must at least not be slower than the reference.
+MIN_CODEC_SPEEDUP = 1.0
+
+#: speedup name -> (optimized benchmark, baseline benchmark).
+SPEEDUP_PAIRS: Dict[str, tuple] = {
+    "engine_churn": ("engine_churn", "engine_churn_legacy"),
+    "fapi_codec": ("fapi_codec", "fapi_codec_reference"),
+}
+
+#: Default rate-regression tolerance: fail only below half baseline rate.
+DEFAULT_TOLERANCE = 0.5
+
+#: Sampling interval for the macro profiling pass.
+PROFILE_EVERY = 8
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark's derived metrics, as persisted in BENCH_perf.json."""
+
+    name: str
+    kind: str
+    description: str
+    events: int
+    wall_seconds: float
+    events_per_sec: float
+    sim_ns: Optional[int] = None
+    sim_wall_ratio: Optional[float] = None
+    digest: Optional[str] = None
+    subsystem_shares: Optional[Dict[str, float]] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        data: Dict = {
+            "kind": self.kind,
+            "description": self.description,
+            "events": self.events,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+        if self.sim_ns is not None:
+            data["sim_ns"] = self.sim_ns
+        if self.sim_wall_ratio is not None:
+            data["sim_wall_ratio"] = round(self.sim_wall_ratio, 4)
+        if self.digest is not None:
+            data["digest"] = self.digest
+        if self.subsystem_shares is not None:
+            data["subsystem_shares"] = {
+                name: round(share, 4)
+                for name, share in self.subsystem_shares.items()
+            }
+        if self.extra:
+            data["extra"] = self.extra
+        return data
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict) -> "BenchmarkResult":
+        return cls(
+            name=name,
+            kind=data.get("kind", "micro"),
+            description=data.get("description", ""),
+            events=int(data.get("events", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            events_per_sec=float(data.get("events_per_sec", 0.0)),
+            sim_ns=data.get("sim_ns"),
+            sim_wall_ratio=data.get("sim_wall_ratio"),
+            digest=data.get("digest"),
+            subsystem_shares=data.get("subsystem_shares"),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+@dataclass
+class PerfReport:
+    """A full harness run: per-benchmark results plus derived speedups."""
+
+    quick: bool
+    results: Dict[str, BenchmarkResult] = field(default_factory=dict)
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "benchmark": "perf",
+            "generated_by": "python -m repro perf"
+            + (" --quick" if self.quick else ""),
+            "quick": self.quick,
+            "speedups": {k: round(v, 3) for k, v in self.speedups.items()},
+            "benchmarks": {
+                name: result.as_dict() for name, result in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PerfReport":
+        return cls(
+            quick=bool(data.get("quick", False)),
+            results={
+                name: BenchmarkResult.from_dict(name, entry)
+                for name, entry in data.get("benchmarks", {}).items()
+            },
+            speedups={k: float(v) for k, v in data.get("speedups", {}).items()},
+        )
+
+    def write(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+
+
+def load_report(path: Path) -> PerfReport:
+    """Load a previously written BENCH_perf.json."""
+    return PerfReport.from_dict(json.loads(Path(path).read_text()))
+
+
+def _derive(spec: BenchmarkSpec, raw: RawRun) -> BenchmarkResult:
+    wall = raw.wall_seconds
+    return BenchmarkResult(
+        name=spec.name,
+        kind=spec.kind,
+        description=spec.description,
+        events=raw.events,
+        wall_seconds=wall,
+        events_per_sec=(raw.events / wall) if wall > 0 else 0.0,
+        sim_ns=raw.sim_ns,
+        sim_wall_ratio=(
+            raw.sim_ns / (wall * 1e9)
+            if raw.sim_ns is not None and wall > 0 else None
+        ),
+        digest=raw.digest,
+        extra=raw.extra,
+    )
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    profile: Optional[bool] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PerfReport:
+    """Run (a subset of) the catalog and return the derived report.
+
+    ``profile`` controls the sampler pass over macro scenarios: ``None``
+    means "full runs only" — the pass re-runs each macro scenario under
+    :class:`PopSampler` so the *timed* run stays unperturbed.
+    """
+    selected = list(CATALOG) if names is None else list(names)
+    unknown = [name for name in selected if name not in CATALOG]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s): {', '.join(unknown)}")
+    do_profile = (not quick) if profile is None else profile
+
+    report = PerfReport(quick=quick)
+    for name in selected:
+        spec = CATALOG[name]
+        if progress is not None:
+            progress(f"running {name} ({spec.kind}) ...")
+        result = _derive(spec, spec.run(quick))
+        if do_profile and spec.scenario is not None:
+            with PopSampler(every=PROFILE_EVERY) as sampler:
+                spec.scenario()
+            result.subsystem_shares = sampler.shares()
+        report.results[name] = result
+
+    for label, (optimized, baseline) in SPEEDUP_PAIRS.items():
+        opt = report.results.get(optimized)
+        base = report.results.get(baseline)
+        if opt is not None and base is not None and base.events_per_sec > 0:
+            report.speedups[label] = opt.events_per_sec / base.events_per_sec
+    return report
+
+
+def check_report(
+    current: PerfReport,
+    baseline: PerfReport,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Compare a fresh run against the committed baseline; return failures."""
+    failures: List[str] = []
+    for name, recorded in baseline.results.items():
+        fresh = current.results.get(name)
+        if fresh is None:
+            failures.append(f"{name}: present in baseline but not run")
+            continue
+        if recorded.digest is not None:
+            if fresh.digest != recorded.digest:
+                failures.append(
+                    f"{name}: trace digest changed "
+                    f"({recorded.digest[:12]}... -> "
+                    f"{(fresh.digest or 'none')[:12]}...) — behaviour regression"
+                )
+        if recorded.events_per_sec > 0 and tolerance > 0:
+            floor = recorded.events_per_sec * tolerance
+            if fresh.events_per_sec < floor:
+                failures.append(
+                    f"{name}: {fresh.events_per_sec:,.0f} events/s is below "
+                    f"{tolerance:.0%} of recorded {recorded.events_per_sec:,.0f}"
+                )
+
+    engine_gate = QUICK_MIN_ENGINE_SPEEDUP if current.quick else MIN_ENGINE_SPEEDUP
+    gates = {"engine_churn": engine_gate, "fapi_codec": MIN_CODEC_SPEEDUP}
+    for label, gate in gates.items():
+        speedup = current.speedups.get(label)
+        if speedup is not None and speedup < gate:
+            failures.append(
+                f"speedup[{label}]: measured {speedup:.2f}x is below the "
+                f"{gate:.2f}x gate"
+            )
+    return failures

@@ -1,0 +1,163 @@
+"""Frozen pre-optimization event engine, kept as a measurement baseline.
+
+This is the simulator core as it stood *before* the performance pass that
+introduced tuple heap entries and cancelled-entry compaction in
+:mod:`repro.sim.engine`: dataclass heap entries (``@dataclass(order=True)``
+comparison), a ``peek + step`` run loop, O(n) ``pending_events``, and no
+compaction. The benchmark catalog runs the same workloads on this engine
+and on the live one so the optimization's speedup stays *measured* — a
+regression in the live engine shows up as the ``engine_churn`` speedup
+dropping below the gate in ``python -m repro perf --check``, not as a
+silently slower simulator.
+
+Nothing outside :mod:`repro.perf` may import this module; it is not a
+fallback engine, and it intentionally does not track the live engine's
+API additions (``compactions``, ``queued_entries``, ``_pop``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _LegacyQueueEntry:
+    """Heap entry ordered by (time, tie, seq); per-pop attribute access and
+    generated dataclass comparison are exactly what the tuple entries in
+    the live engine replaced."""
+
+    time: int
+    tie: int
+    seq: int
+    handle: "LegacyEventHandle" = field(compare=False)
+
+
+class LegacyEventHandle:
+    """Pre-optimization event handle (no owning-simulator backref)."""
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
+class LegacySimulator:
+    """The event engine before the perf pass; same observable semantics as
+    :class:`repro.sim.engine.Simulator` minus the perf-era diagnostics.
+
+    Cancelled entries are never removed until popped, so heavy
+    cancel/reschedule churn grows the heap without bound for the run's
+    duration — the failure mode the live engine's compaction fixes (and
+    the ``engine_cancel_watchdog`` benchmark demonstrates).
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self._now = start_time
+        self._queue: List[_LegacyQueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> LegacyEventHandle:
+        return self.at(self._now + delay, callback, *args, label=label)
+
+    def at(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> LegacyEventHandle:
+        handle = LegacyEventHandle(time, callback, args, label=label)
+        entry = _LegacyQueueEntry(
+            time=time, tie=0, seq=next(self._seq), handle=handle
+        )
+        heapq.heappush(self._queue, entry)
+        return handle
+
+    def step(self) -> bool:
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run_until(self, end_time: int) -> None:
+        self._running = True
+        try:
+            while self._queue and self._running:
+                head_time = self._peek_time()
+                if head_time is None or head_time > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if self._now < end_time:
+            self._now = end_time
+
+    def run(self) -> None:
+        self._running = True
+        try:
+            while self._queue and self._running:
+                self.step()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _peek_time(self) -> Optional[int]:
+        while self._queue:
+            entry = self._queue[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return entry.time
+        return None
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size including cancelled garbage (for the benchmarks'
+        heap-growth comparison against the compacting engine)."""
+        return len(self._queue)

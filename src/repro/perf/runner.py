@@ -1,0 +1,172 @@
+"""Perf CLI: ``python -m repro perf``.
+
+Usage::
+
+    python -m repro perf                    # run catalog, write BENCH_perf.json
+    python -m repro perf --quick            # shorter micro workloads, no profiling
+    python -m repro perf --check            # regression gate vs BENCH_perf.json
+    python -m repro perf --check --quick    # the tier-1 smoke configuration
+    python -m repro perf engine_churn engine_churn_legacy
+    python -m repro perf --list
+
+Exit codes: 0 (ran / gate passed), 1 (gate failed), 2 (usage error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.perf.benchmarks import CATALOG
+from repro.perf.harness import (
+    DEFAULT_TOLERANCE,
+    PerfReport,
+    check_report,
+    load_report,
+    run_benchmarks,
+)
+
+
+def _repo_root() -> Path:
+    """The repository root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_bench_path() -> Path:
+    return _repo_root() / "benchmarks" / "BENCH_perf.json"
+
+
+def _format_text(report: PerfReport) -> str:
+    lines = [
+        f"{'benchmark':32s} {'kind':5s} {'events':>10s} {'events/s':>12s} "
+        f"{'sim/wall':>9s}"
+    ]
+    for result in report.results.values():
+        ratio = (
+            f"{result.sim_wall_ratio:9.2f}"
+            if result.sim_wall_ratio is not None else f"{'-':>9s}"
+        )
+        lines.append(
+            f"{result.name:32s} {result.kind:5s} {result.events:>10,d} "
+            f"{result.events_per_sec:>12,.0f} {ratio}"
+        )
+        if result.digest is not None:
+            lines.append(f"{'':32s}   digest {result.digest[:16]}...")
+        if result.subsystem_shares:
+            top = ", ".join(
+                f"{name}={share:.0%}"
+                for name, share in list(result.subsystem_shares.items())[:5]
+            )
+            lines.append(f"{'':32s}   shares {top}")
+    if report.speedups:
+        lines.append("speedups: " + ", ".join(
+            f"{label} {value:.2f}x" for label, value in report.speedups.items()
+        ))
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Micro/macro benchmark harness for the Slingshot reproduction.",
+    )
+    parser.add_argument(
+        "names", nargs="*",
+        help="benchmark names to run (default: the full catalog; see --list)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter micro workloads and no profiling pass (macro scenario "
+             "durations are unchanged, so digests stay comparable)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="regression gate: compare a fresh run against the recorded "
+             "baseline instead of overwriting it",
+    )
+    parser.add_argument(
+        "--bench", type=Path, default=None, metavar="FILE",
+        help="benchmark JSON path (default: benchmarks/BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="--check rate floor as a fraction of the recorded rate "
+             f"(default: {DEFAULT_TOLERANCE}); 0 disables rate checks",
+    )
+    parser.add_argument(
+        "--profile", action=argparse.BooleanOptionalAction, default=None,
+        help="force the macro profiling pass on/off "
+             "(default: on for full runs, off for --quick)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the benchmark catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if args.list:
+        for name, spec in CATALOG.items():
+            print(f"  {name:32s} {spec.kind:5s} {spec.description}")
+        return 0
+
+    bench_path = args.bench if args.bench is not None else default_bench_path()
+
+    baseline: Optional[PerfReport] = None
+    if args.check:
+        try:
+            baseline = load_report(bench_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro perf: cannot load baseline {bench_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    names: Optional[List[str]] = args.names or None
+    if names is None and baseline is not None:
+        # Check exactly what the baseline recorded (plus nothing stale).
+        names = [name for name in baseline.results if name in CATALOG]
+    try:
+        report = run_benchmarks(
+            names=names, quick=args.quick, profile=args.profile,
+            progress=(print if args.format == "text" else None),
+        )
+    except KeyError as exc:
+        print(f"repro perf: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(_format_text(report))
+
+    if args.check:
+        assert baseline is not None
+        failures = check_report(report, baseline, tolerance=args.tolerance)
+        if failures:
+            print(f"\nperf check FAILED ({len(failures)} failure(s)):")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"\nperf check passed ({len(baseline.results)} benchmark(s), "
+              f"tolerance {args.tolerance:.0%})")
+        return 0
+
+    report.write(bench_path)
+    print(f"\nwrote {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Sampling profiler hooked on ``Simulator._pop``.
+
+Every fired event leaves the queue through :meth:`Simulator._pop`, so a
+single hook point sees the whole simulation without instrumenting any
+component. :class:`PopSampler` patches ``_pop`` at the class level for
+the duration of a ``with`` block and, for every N-th popped event, swaps
+the handle's callback for a timed wrapper. The wrapper attributes the
+callback's wall time to a *subsystem* — the first two components of the
+callback's defining module (``repro.sim``, ``repro.phy``, ``repro.l2``,
+...) — giving per-subsystem time *shares* from a ~1/N sample of events.
+
+Sampling (rather than timing every event) keeps the probe cheap enough
+that the profiled run's behaviour is the benchmark's behaviour: the
+simulation itself never reads a wall clock (DET001), so timing the
+callbacks perturbs nothing but wall time, and the trace digest of a
+profiled run is bit-identical to an unprofiled one.
+
+The patch is process-global (all :class:`Simulator` instances created or
+running inside the block are sampled), which is exactly what the macro
+benchmarks want and why the harness profiles in a dedicated pass rather
+than during the timed one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.perf.timing import wall_ns
+from repro.sim.engine import Simulator
+
+#: Module-name prefix length kept for attribution: ``repro.phy.process``
+#: and ``repro.phy.channel`` both bill to ``repro.phy``.
+_SUBSYSTEM_PARTS = 2
+
+
+def subsystem_of(callback: Callable[..., Any]) -> str:
+    """Attribution bucket for a callback: its defining module, truncated
+    to ``repro.<subsystem>`` (non-repro callbacks bill to their top-level
+    module; callables without a module bill to ``unknown``)."""
+    module = getattr(callback, "__module__", None)
+    if not module:
+        return "unknown"
+    parts = module.split(".")
+    if parts[0] == "repro":
+        return ".".join(parts[:_SUBSYSTEM_PARTS])
+    return parts[0]
+
+
+class PopSampler:
+    """Context manager that samples every ``every``-th fired event.
+
+    Usage::
+
+        with PopSampler(every=8) as sampler:
+            run_fig9_cell()
+        shares = sampler.shares()   # {"repro.phy": 0.41, ...}
+    """
+
+    def __init__(self, every: int = 8) -> None:
+        if every < 1:
+            raise ValueError(f"sampling interval must be >= 1, got {every}")
+        self.every = every
+        #: Sampled wall nanoseconds per subsystem.
+        self.nanos: Dict[str, int] = {}
+        #: Sampled event count per subsystem.
+        self.counts: Dict[str, int] = {}
+        self._tick = 0
+        self._saved_pop: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def sampled_events(self) -> int:
+        return sum(self.counts.values())
+
+    def shares(self) -> Dict[str, float]:
+        """Per-subsystem fraction of sampled callback wall time, sorted
+        descending (sums to 1.0 when anything was sampled)."""
+        total = sum(self.nanos.values())
+        if total <= 0:
+            return {}
+        return {
+            name: self.nanos[name] / total
+            for name in sorted(self.nanos, key=self.nanos.get, reverse=True)
+        }
+
+    def _record(self, callback: Callable[..., Any], elapsed_ns: int) -> None:
+        bucket = subsystem_of(callback)
+        self.nanos[bucket] = self.nanos.get(bucket, 0) + elapsed_ns
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Class-level _pop patch
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PopSampler":
+        if self._saved_pop is not None:
+            raise RuntimeError("PopSampler is not reentrant")
+        sampler = self
+        inner_pop = Simulator._pop
+        self._saved_pop = inner_pop
+
+        def sampling_pop(sim: Simulator, limit: Optional[int] = None):
+            entry = inner_pop(sim, limit)
+            if entry is not None:
+                sampler._tick += 1
+                if sampler._tick % sampler.every == 0:
+                    handle = entry[3]
+                    callback = handle.callback
+
+                    def timed(*args: Any, _cb=callback, _s=sampler) -> Any:
+                        start = wall_ns()
+                        try:
+                            return _cb(*args)
+                        finally:
+                            _s._record(_cb, wall_ns() - start)
+
+                    handle.callback = timed
+            return entry
+
+        Simulator._pop = sampling_pop
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        Simulator._pop = self._saved_pop
+        self._saved_pop = None

@@ -1,0 +1,118 @@
+"""Deterministic scenario runners shared by benchmarks and digest tests.
+
+Each runner builds a full Slingshot cell, drives a short, fixed workload
+through a resilience event, and returns the cell so callers can read
+``cell.trace`` and ``cell.sim``. Two consumers share these functions:
+
+* the **macro benchmarks** (``python -m repro perf``), which time them
+  and report events/sec and the sim-time/wall-time ratio;
+* the **digest-equivalence regression tests**
+  (``tests/test_perf_digests.py``), which pin each scenario's canonical
+  trace digest as a golden value.
+
+Because both consumers run the *same* code with the *same* durations,
+any performance work that changes behaviour — an event reordered, an RNG
+draw added, a float perturbed — flips a golden digest and fails tier-1
+loudly. Durations are deliberately short (about a second of simulated
+time) so the digest tests stay cheap; the harness's ``repeats`` knob, not
+longer scenarios, provides measurement stability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.iperf import UdpIperfUplink
+from repro.apps.ping import PingClient, UePingResponder
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import build_slingshot_cell
+from repro.sim.units import MS, s_to_ns
+from repro.transport.packet import Packet
+
+
+def run_fig9_cell(duration_s: float = 1.2, failure_at_s: float = 0.6, seed: int = 0):
+    """Fig 9 shape: three UEs pinging every 10 ms through a PHY failover."""
+    cell = build_slingshot_cell(CellConfig(seed=seed))
+    clients = {}
+    for ue_id, ue in cell.ues.items():
+        flow = f"ping-{ue_id}"
+        responder = UePingResponder(ue, flow, bearer_id=1)
+        previous_sink = ue.dl_sink
+
+        def dispatch(bearer_id, sdu, responder=responder, flow=flow, prev=previous_sink):
+            if isinstance(sdu, Packet) and sdu.flow_id == flow:
+                responder.on_packet(sdu)
+            elif prev is not None:
+                prev(bearer_id, sdu)
+
+        ue.dl_sink = dispatch
+        clients[ue.name] = PingClient(
+            cell.sim,
+            cell.server,
+            ue_id=ue_id,
+            flow_id=flow,
+            bearer_id=1,
+            interval_ns=10 * MS,
+        )
+    cell.run_for(s_to_ns(0.2))
+    for client in clients.values():
+        client.start()
+    cell.kill_phy_at(0, s_to_ns(failure_at_s))
+    cell.run_until(s_to_ns(duration_s))
+    return cell
+
+
+def run_fig10_smoke_cell(duration_s: float = 1.0, event_at_s: float = 0.6, seed: int = 0):
+    """Fig 10 smoke: one UE, uplink UDP iperf through a PHY failover."""
+    cell = build_slingshot_cell(
+        CellConfig(
+            seed=seed,
+            ue_profiles=[
+                UeProfile(
+                    ue_id=1, name="UE", mean_snr_db=17.0,
+                    shadow_sigma_db=0.6, fade_probability=0.0,
+                )
+            ],
+        )
+    )
+    ue = cell.ue(1)
+    flow = UdpIperfUplink(
+        cell.sim, cell.server, ue, "iperf", 1, bitrate_bps=15.8e6
+    )
+    cell.run_for(s_to_ns(0.2))
+    flow.start()
+    cell.kill_phy_at(0, s_to_ns(event_at_s))
+    cell.run_until(s_to_ns(duration_s))
+    return cell
+
+
+def run_chaos_cell(scenario_name: str, seed: int = 1):
+    """One (scenario, seed) run of the chaos campaign's standard matrix."""
+    from repro.faults.campaign import _execute
+    from repro.faults.scenarios import scenario_by_name
+
+    cell, _injector = _execute(scenario_by_name()[scenario_name], seed)
+    return cell
+
+
+def _chaos_runner(scenario_name: str, seed: int) -> Callable:
+    def run():
+        return run_chaos_cell(scenario_name, seed)
+
+    run.__name__ = f"run_chaos_{scenario_name}"
+    return run
+
+
+#: Scenario name -> zero-argument runner returning a finished cell.
+#: These four are the golden-digest set; the macro benchmarks reuse them.
+DIGEST_SCENARIOS: Dict[str, Callable] = {
+    "fig9": run_fig9_cell,
+    "fig10_smoke": run_fig10_smoke_cell,
+    "chaos_cmd_drop": _chaos_runner("cmd_drop", seed=1),
+    "chaos_crash_restart": _chaos_runner("crash_restart", seed=1),
+}
+
+
+def scenario_digest(name: str) -> str:
+    """Canonical trace digest of one named scenario (fresh run)."""
+    return DIGEST_SCENARIOS[name]().trace.digest()

@@ -1,0 +1,28 @@
+"""Sanctioned wall-clock access for performance measurement.
+
+Simulation logic must never read the host clock (slinglint DET001); the
+perf harness obviously must. This module is the single place inside
+``repro.perf`` allowed to touch :mod:`time` — rule PERF001 flags any
+``time.*`` call elsewhere in the package, so every measurement loop is
+forced through these helpers and the benchmark numbers stay comparable
+(one clock, monotonic, ns resolution).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_ns() -> int:
+    """Monotonic host wall-clock in integer nanoseconds.
+
+    The only sanctioned wall-clock read for measurement loops; the other
+    allowlisted site in the package is the CLI's user-facing elapsed-time
+    output (``repro.cli._wall_seconds``).
+    """
+    return time.perf_counter_ns()  # slinglint: disable=DET001
+
+
+def wall_seconds_since(start_ns: int) -> float:
+    """Elapsed wall seconds since a :func:`wall_ns` reading."""
+    return (wall_ns() - start_ns) / 1e9

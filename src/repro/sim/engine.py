@@ -16,33 +16,40 @@ Design notes
   under any seed; any divergence from the FIFO trace is a real ordering
   race (a component whose semantics depend on scheduling order rather
   than on event time).
+* Heap entries are plain ``(time, tie, seq, handle)`` tuples. ``seq`` is
+  unique per simulator, so tuple comparison never reaches the handle and
+  ordering is exactly (time, tie, seq) — FIFO on ties unless a
+  tie-shuffle key is assigned. Tuples compare in C, which is the single
+  biggest win over the previous dataclass entries on churn-heavy runs.
 * Cancellation is O(1): cancelled events stay in the heap but are skipped
-  when popped.
+  when popped. To keep the heap *bounded* under heavy cancel/reschedule
+  churn (e.g. a watchdog re-armed every response), the simulator counts
+  live cancellations and compacts the heap once cancelled entries exceed
+  ``compaction_threshold`` **and** outnumber live ones — so compaction
+  cost stays amortized O(1) per cancel while the queue never holds more
+  than ~half garbage.
+* ``_pop`` is the single point through which every fired event leaves the
+  queue; the perf sampler (:mod:`repro.perf.sampler`) hooks it to build
+  per-subsystem time shares without instrumenting callbacks.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.sim.rng import BatchedIntegers
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid use of the simulator (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    """Internal heap entry; ordering is (time, tie, seq) so ties are FIFO
-    unless a tie-shuffle key is assigned."""
-
-    time: int
-    tie: int
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Heap entry shape: (time, tie, seq, handle).
+_QueueEntry = Tuple[int, int, int, "EventHandle"]
 
 
 class EventHandle:
@@ -53,7 +60,7 @@ class EventHandle:
     prevents the callback from running.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label", "_sim")
 
     def __init__(
         self,
@@ -68,10 +75,16 @@ class EventHandle:
         self.cancelled = False
         self.fired = False
         self.label = label
+        #: Owning simulator; set by Simulator.at for compaction accounting.
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing. Idempotent; safe after firing."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -92,28 +105,48 @@ class Simulator:
     FIFO. Running the same scenario under two different seeds and diffing
     the traces is a dynamic race check — identical traces mean no component
     depends on same-timestamp tie order.
+
+    ``compaction_threshold`` bounds heap garbage: once at least that many
+    cancelled entries sit in the queue *and* they outnumber live entries,
+    the queue is rebuilt without them (``compactions`` counts rebuilds).
     """
 
     def __init__(
-        self, start_time: int = 0, tie_shuffle_seed: Optional[int] = None
+        self,
+        start_time: int = 0,
+        tie_shuffle_seed: Optional[int] = None,
+        compaction_threshold: int = 64,
     ) -> None:
+        if compaction_threshold < 1:
+            raise ValueError(
+                f"compaction_threshold must be >= 1, got {compaction_threshold}"
+            )
         self._now = start_time
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self.compaction_threshold = compaction_threshold
+        #: Number of cancelled-entry heap rebuilds performed so far.
+        self.compactions = 0
+        #: Cancelled entries currently sitting in the heap.
+        self._cancelled_in_queue = 0
         self.tie_shuffle_seed = tie_shuffle_seed
-        self._tie_rng: Optional[np.random.Generator] = (
+        self._tie_stream: Optional[BatchedIntegers] = (
             None
             if tie_shuffle_seed is None
-            else np.random.Generator(np.random.PCG64(tie_shuffle_seed))
+            else BatchedIntegers(
+                np.random.Generator(np.random.PCG64(tie_shuffle_seed)),
+                0,
+                1 << 32,
+            )
         )
 
     def _tie_key(self) -> int:
         """Tie-break key for a new event: 0 (FIFO) or a seeded random draw."""
-        if self._tie_rng is None:
+        if self._tie_stream is None:
             return 0
-        return int(self._tie_rng.integers(0, 1 << 32))
+        return self._tie_stream.draw()
 
     # ------------------------------------------------------------------
     # Clock
@@ -160,28 +193,70 @@ class Simulator:
                 f"cannot schedule at t={time} ns; clock is already at {self._now} ns"
             )
         handle = EventHandle(time, callback, args, label=label)
-        entry = _QueueEntry(
-            time=time, tie=self._tie_key(), seq=next(self._seq), handle=handle
+        handle._sim = self
+        heapq.heappush(
+            self._queue, (time, self._tie_key(), next(self._seq), handle)
         )
-        heapq.heappush(self._queue, entry)
         return handle
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`EventHandle.cancel` while the entry is queued."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= self.compaction_threshold
+            and self._cancelled_in_queue * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order is a total order on (time, tie, seq) with unique seq,
+        so re-heapifying the surviving entries reproduces the exact same
+        pop sequence — compaction is invisible to execution order.
+        """
+        self._queue = [entry for entry in self._queue if not entry[3].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _pop(self, limit: Optional[int] = None) -> Optional[_QueueEntry]:
+        """Pop the next live entry with time <= ``limit`` (None = no limit).
+
+        Skips (and drops) cancelled entries; leaves a live head beyond
+        ``limit`` in place and returns None. Every event that fires flows
+        through here — the perf sampler wraps this method to attribute
+        wall time to subsystems.
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            if limit is not None and head[0] > limit:
+                return None
+            return heapq.heappop(queue)
+        return None
+
     def step(self) -> bool:
         """Run the single next pending event. Returns False if queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
-            if handle.cancelled:
-                continue
-            self._now = entry.time
-            handle.fired = True
-            self._events_processed += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        entry = self._pop()
+        if entry is None:
+            return False
+        handle = entry[3]
+        self._now = entry[0]
+        handle.fired = True
+        self._events_processed += 1
+        handle.callback(*handle.args)
+        return True
 
     def run_until(self, end_time: int) -> None:
         """Run all events with timestamps <= ``end_time``; clock ends at ``end_time``.
@@ -193,12 +268,17 @@ class Simulator:
                 f"run_until({end_time}) is in the past (now={self._now})"
             )
         self._running = True
+        pop = self._pop
         try:
-            while self._queue and self._running:
-                head_time = self._peek_time()
-                if head_time is None or head_time > end_time:
+            while self._running:
+                entry = pop(end_time)
+                if entry is None:
                     break
-                self.step()
+                handle = entry[3]
+                self._now = entry[0]
+                handle.fired = True
+                self._events_processed += 1
+                handle.callback(*handle.args)
         finally:
             self._running = False
         if self._now < end_time:
@@ -211,9 +291,17 @@ class Simulator:
     def run(self) -> None:
         """Run until the event queue drains completely."""
         self._running = True
+        pop = self._pop
         try:
-            while self._queue and self._running:
-                self.step()
+            while self._running:
+                entry = pop()
+                if entry is None:
+                    break
+                handle = entry[3]
+                self._now = entry[0]
+                handle.fired = True
+                self._events_processed += 1
+                handle.callback(*handle.args)
         finally:
             self._running = False
 
@@ -223,18 +311,25 @@ class Simulator:
 
     def _peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, skipping cancelled entries."""
-        while self._queue:
-            entry = self._queue[0]
-            if entry.handle.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
                 continue
-            return entry.time
+            return head[0]
         return None
 
     @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size including cancelled garbage (diagnostics/tests)."""
+        return len(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self._now}ns pending={self.pending_events}>"

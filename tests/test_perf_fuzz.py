@@ -1,0 +1,173 @@
+"""Deterministic fuzz round-trips for the FAPI and eCPRI codecs.
+
+The perf pass gave both codecs *fast paths* (type-keyed dispatch,
+positional PDU construction, memoized header packing) while keeping the
+original implementations as normative *reference paths*. These tests
+drive ~1k randomized messages — generated from reserved
+:class:`~repro.sim.rng.RngRegistry` streams, so the corpus is identical
+on every run and every machine — through both paths and require:
+
+* encode -> decode -> encode is byte-identical (the codec is a bijection
+  on its wire image);
+* the fast encoder produces byte-identical output to the reference
+  encoder, and the fast decoder's result re-encodes to the same bytes as
+  the reference decoder's (field-level equivalence without comparing
+  ``message_id`` bookkeeping);
+* eCPRI's ``parse_timing_fields`` (the P4-parser arithmetic) agrees with
+  the full header decode.
+"""
+
+import pytest
+
+from repro.fapi import codec
+from repro.fapi import messages as m
+from repro.fronthaul import ecpri
+from repro.perf.benchmarks import build_fapi_corpus
+from repro.phy.numerology import SlotAddress
+from repro.sim.rng import RngRegistry
+
+#: Seed reserved for codec fuzzing (distinct from the benchmark corpus).
+FUZZ_SEED = 77_2026
+
+
+@pytest.fixture(scope="module")
+def fapi_corpus():
+    return build_fapi_corpus(count=1_000, seed=FUZZ_SEED)
+
+
+class TestFapiCodecFuzz:
+    def test_encode_decode_encode_is_byte_identical(self, fapi_corpus):
+        for message in fapi_corpus:
+            data = codec.encode_message(message)
+            decoded = codec.decode_message(data)
+            assert codec.encode_message(decoded) == data
+
+    def test_fast_encoder_matches_reference_encoder(self, fapi_corpus):
+        for message in fapi_corpus:
+            assert codec.encode_message(message) == codec.encode_message_reference(
+                message
+            )
+
+    def test_fast_decoder_matches_reference_decoder(self, fapi_corpus):
+        for message in fapi_corpus:
+            data = codec.encode_message(message)
+            fast = codec.decode_message(data)
+            reference = codec.decode_message_reference(data)
+            assert type(fast) is type(reference)
+            assert codec.encode_message(fast) == codec.encode_message_reference(
+                reference
+            )
+
+    def test_reference_round_trip_is_byte_identical(self, fapi_corpus):
+        for message in fapi_corpus:
+            data = codec.encode_message_reference(message)
+            decoded = codec.decode_message_reference(data)
+            assert codec.encode_message_reference(decoded) == data
+
+    def test_wire_size_matches_encoding_for_bytes_payloads(self, fapi_corpus):
+        # The whole corpus uses bytes payloads, where the declared wire
+        # size must equal the actual encoding length.
+        for message in fapi_corpus:
+            assert codec.wire_size(message) == len(codec.encode_message(message))
+
+    def test_decoded_tti_pdus_preserve_fields(self, fapi_corpus):
+        for message in fapi_corpus:
+            if not isinstance(message, (m.UlTtiRequest, m.DlTtiRequest)):
+                continue
+            decoded = codec.decode_message(codec.encode_message(message))
+            assert len(decoded.pdus) == len(message.pdus)
+            for original, round_tripped in zip(message.pdus, decoded.pdus):
+                assert round_tripped.ue_id == original.ue_id
+                assert round_tripped.harq_process == original.harq_process
+                assert round_tripped.modulation is original.modulation
+                assert round_tripped.prbs == original.prbs
+                assert round_tripped.new_data == original.new_data
+                assert round_tripped.tb_id == original.tb_id
+                assert round_tripped.tb_bytes == original.tb_bytes
+                assert round_tripped.retx_index == original.retx_index
+
+
+def _random_headers(count: int = 1_000):
+    rng = RngRegistry(FUZZ_SEED).stream("fuzz.ecpri_headers")
+    for _ in range(count):
+        yield dict(
+            message_type=(
+                ecpri.ECPRI_TYPE_IQ_DATA
+                if rng.integers(0, 2) else ecpri.ECPRI_TYPE_RT_CONTROL
+            ),
+            payload_bytes=int(rng.integers(0, 65_536)),
+            eaxc_id=int(rng.integers(0, 65_536)),
+            sequence=int(rng.integers(0, 256)),
+            address=SlotAddress(
+                frame=int(rng.integers(0, 1024)),
+                subframe=int(rng.integers(0, 10)),
+                slot=int(rng.integers(0, 64)),
+            ),
+            symbol=int(rng.integers(0, 14)),
+            section_type=(
+                ecpri.SECTION_TYPE_UL if rng.integers(0, 2) else ecpri.SECTION_TYPE_DL
+            ),
+        )
+
+
+class TestEcpriHeaderFuzz:
+    def test_encode_decode_encode_is_byte_identical(self):
+        for fields in _random_headers():
+            data = ecpri.encode_header(**fields)
+            header = ecpri.decode_header(data)
+            assert (
+                ecpri.encode_header(
+                    header.message_type,
+                    header.payload_bytes,
+                    header.eaxc_id,
+                    header.sequence,
+                    header.address,
+                    header.symbol,
+                    header.section_type,
+                )
+                == data
+            )
+
+    def test_decode_recovers_all_fields(self):
+        for fields in _random_headers():
+            header = ecpri.decode_header(ecpri.encode_header(**fields))
+            assert header.message_type == fields["message_type"]
+            assert header.payload_bytes == fields["payload_bytes"]
+            assert header.eaxc_id == fields["eaxc_id"]
+            assert header.sequence == fields["sequence"]
+            assert header.address == fields["address"]
+            assert header.symbol == fields["symbol"]
+            assert header.section_type == fields["section_type"]
+
+    def test_timing_field_fast_parse_agrees_with_full_decode(self):
+        for fields in _random_headers():
+            data = ecpri.encode_header(**fields)
+            header = ecpri.decode_header(data)
+            assert ecpri.parse_timing_fields(data) == (
+                header.address.frame,
+                header.address.subframe,
+                header.address.slot,
+            )
+
+    def test_parse_handles_trailing_payload_and_bytearray(self):
+        fields = next(iter(_random_headers(1)))
+        data = ecpri.encode_header(**fields)
+        padded = bytearray(data + b"\x5a" * 128)
+        assert ecpri.decode_header(padded) == ecpri.decode_header(data)
+        assert ecpri.parse_timing_fields(padded) == ecpri.parse_timing_fields(data)
+
+    def test_memoized_decode_is_stable(self):
+        fields = next(iter(_random_headers(1)))
+        data = ecpri.encode_header(**fields)
+        assert ecpri.decode_header(data) == ecpri.decode_header(bytes(data))
+
+    def test_invalid_fields_still_rejected(self):
+        # lru_cache never caches exceptions; validation fires every call.
+        for _ in range(2):
+            with pytest.raises(ecpri.EcpriCodecError):
+                ecpri.encode_header(
+                    ecpri.ECPRI_TYPE_IQ_DATA, 0, 0, 0,
+                    SlotAddress(frame=1024, subframe=0, slot=0),
+                )
+            with pytest.raises(ecpri.EcpriCodecError):
+                ecpri.decode_header(b"\x00" * ecpri.HEADER_BYTES)

@@ -1,10 +1,11 @@
 """Unit tests for the discrete-event simulator core."""
 
+import numpy as np
 import pytest
 
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.process import PeriodicProcess, Process
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import BatchedIntegers, BatchedUniform, RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import MS, SECOND, US, ms_to_ns, ns_to_ms, ns_to_us, s_to_ns, us_to_ns
 
@@ -120,6 +121,135 @@ class TestCancellation:
         sim.schedule(20, seen.append, 2)
         sim.run()
         assert seen == [(1, None)] or len(seen) == 1
+
+
+class TestCompaction:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(compaction_threshold=0)
+
+    def test_compaction_triggers_under_cancel_churn(self):
+        sim = Simulator(compaction_threshold=8)
+        handles = [sim.schedule(1000 + i, lambda: None) for i in range(32)]
+        for handle in handles[:24]:
+            handle.cancel()
+        assert sim.compactions >= 1
+        assert sim.queued_entries == 8
+        assert sim.pending_events == 8
+
+    def test_compaction_preserves_fifo_tie_order(self):
+        # Survivors of a compaction must still fire in scheduling order,
+        # including same-timestamp ties.
+        sim = Simulator(compaction_threshold=4)
+        order = []
+        handles = [sim.schedule(100, order.append, tag) for tag in range(40)]
+        for tag in range(0, 40, 2):
+            handles[tag].cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert order == list(range(1, 40, 2))
+
+    def test_compaction_is_invisible_to_execution_order(self):
+        # The same cancel-heavy workload with aggressive and disabled
+        # compaction fires the identical event sequence.
+        def run(threshold):
+            sim = Simulator(compaction_threshold=threshold)
+            order = []
+            handles = {}
+
+            def work(i):
+                order.append(i)
+                stale = handles.pop(i - 2, None)
+                if stale is not None:
+                    stale.cancel()
+                if i < 200:
+                    handles[i] = sim.schedule(50 + (i % 3), work, i + 1)
+
+            sim.schedule(0, work, 0)
+            sim.run()
+            return order
+
+        assert run(1) == run(10**9)
+
+    def test_watchdog_churn_keeps_heap_bounded(self):
+        # Orion's watchdog pattern: every response cancels and re-arms a
+        # timeout, so nearly every scheduled event is cancelled. Without
+        # compaction the heap grows with the response count; with it the
+        # raw heap size stays around the compaction threshold.
+        responses = 5_000
+        sim = Simulator(compaction_threshold=64)
+        state = {"left": responses, "watchdog": None, "max_heap": 0}
+
+        def on_timeout():
+            pass
+
+        def on_response():
+            if state["watchdog"] is not None:
+                state["watchdog"].cancel()
+            state["watchdog"] = sim.schedule(1_000_000, on_timeout)
+            state["max_heap"] = max(state["max_heap"], sim.queued_entries)
+            if state["left"] > 0:
+                state["left"] -= 1
+                sim.schedule(1_000, on_response)
+
+        sim.schedule(0, on_response)
+        sim.run()
+        assert sim.compactions > 0
+        # Bounded by ~2x threshold plus the couple of live events, far
+        # below the ~5000 entries an uncompacted heap would reach.
+        assert state["max_heap"] <= 2 * sim.compaction_threshold + 4
+        assert sim.events_processed == responses + 2  # responses + final timeout
+
+    def test_cancel_after_fire_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        live = sim.schedule(20, lambda: None)
+        sim.run_until(15)
+        handle.cancel()  # Fired already: must not count as queued garbage.
+        handle.cancel()
+        assert sim.pending_events == 1
+        assert live.pending
+
+    def test_run_until_leaves_no_cancelled_entries_behind_compaction(self):
+        # Cancelled entries beyond the run_until horizon are reclaimed by
+        # later compactions rather than lingering forever.
+        sim = Simulator(compaction_threshold=4)
+        far = [sim.schedule(10_000 + i, lambda: None) for i in range(16)]
+        sim.schedule(10, lambda: None)
+        sim.run_until(100)
+        for handle in far:
+            handle.cancel()
+        assert sim.queued_entries == 0
+        assert sim.pending_events == 0
+
+
+class TestBatchedRng:
+    def test_batched_uniform_matches_scalar_sequence(self):
+        for block in (1, 7, 256):
+            batched = BatchedUniform(
+                np.random.Generator(np.random.PCG64(42)), block=block
+            )
+            scalar = np.random.Generator(np.random.PCG64(42))
+            assert [batched.random() for _ in range(1000)] == [
+                float(scalar.random()) for _ in range(1000)
+            ]
+
+    def test_batched_integers_matches_scalar_sequence(self):
+        batched = BatchedIntegers(
+            np.random.Generator(np.random.PCG64(7)), 0, 1 << 32, block=64
+        )
+        scalar = np.random.Generator(np.random.PCG64(7))
+        assert [batched.draw() for _ in range(1000)] == [
+            int(scalar.integers(0, 1 << 32)) for _ in range(1000)
+        ]
+
+    def test_registry_batched_uniform_owns_named_stream(self):
+        registry = RngRegistry(seed=9)
+        batched = registry.batched_uniform("tie", block=16)
+        reference = RngRegistry(seed=9).stream("tie")
+        assert [batched.random() for _ in range(64)] == [
+            float(reference.random()) for _ in range(64)
+        ]
 
 
 class TestPeriodicProcess:

@@ -215,6 +215,45 @@ def _pipeline_class(table_count=1, accesses=2):
     return "\n".join(lines) + "\n"
 
 
+class TestPerfRules:
+    PERF_PATH = "src/repro/perf/benchmarks.py"
+
+    def test_perf001_direct_time_call(self):
+        findings = lint(
+            "import time\nstart = time.perf_counter_ns()\n", path=self.PERF_PATH
+        )
+        assert "PERF001" in rule_ids(findings)
+
+    def test_perf001_time_import_alone_flagged(self):
+        assert "PERF001" in rule_ids(lint("import time\n", path=self.PERF_PATH))
+        assert "PERF001" in rule_ids(
+            lint("from time import perf_counter_ns\n", path=self.PERF_PATH)
+        )
+
+    def test_perf001_timing_module_exempt(self):
+        findings = lint(
+            "import time\n"
+            "def wall_ns():\n"
+            "    return time.perf_counter_ns()  # slinglint: disable=DET001\n",
+            path="src/repro/perf/timing.py",
+        )
+        assert "PERF001" not in rule_ids(findings)
+
+    def test_perf001_inactive_outside_perf_package(self):
+        findings = lint(
+            "import time\nstart = time.time()\n", path="src/repro/sim/engine.py"
+        )
+        assert "PERF001" not in rule_ids(findings)
+        assert "DET001" in rule_ids(findings)
+
+    def test_perf001_sanctioned_helper_clean(self):
+        findings = lint(
+            "from repro.perf.timing import wall_ns\nstart = wall_ns()\n",
+            path=self.PERF_PATH,
+        )
+        assert "PERF001" not in rule_ids(findings)
+
+
 class TestP4BudgetRules:
     def test_p4r002_table_count(self):
         findings = lint(_pipeline_class(table_count=33))

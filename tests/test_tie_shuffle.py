@@ -7,6 +7,7 @@ i.e. no component depends on how the engine serializes concurrent
 events.
 """
 
+import numpy as np
 import pytest
 
 from repro.apps.video import VideoReceiver, VideoSender
@@ -55,6 +56,39 @@ class TestEngineTieShuffle:
         sim.run()
         assert order == ["early", "late"]
 
+    def test_shuffle_permutation_matches_scalar_key_draws(self):
+        # The engine batches its tie-key draws; the permutation must be
+        # exactly what one scalar ``integers(0, 2**32)`` draw per
+        # scheduled event produces (the pre-batching behaviour).
+        count, seed = 48, 11
+        sim = Simulator(tie_shuffle_seed=seed)
+        order = []
+        for tag in range(count):
+            sim.schedule(100, order.append, tag)
+        sim.run()
+
+        reference = np.random.Generator(np.random.PCG64(seed))
+        keys = [int(reference.integers(0, 1 << 32)) for _ in range(count)]
+        expected = sorted(range(count), key=lambda tag: (keys[tag], tag))
+        assert order == expected
+
+    def test_shuffle_order_survives_compaction(self):
+        # Cancelling enough ties to trigger compaction must not change
+        # the relative firing order of the survivors.
+        def survivor_order(threshold):
+            sim = Simulator(tie_shuffle_seed=23, compaction_threshold=threshold)
+            order = []
+            handles = [sim.schedule(100, order.append, tag) for tag in range(48)]
+            for tag in range(0, 48, 3):
+                handles[tag].cancel()
+            sim.run()
+            return order
+
+        aggressive = survivor_order(threshold=2)
+        never = survivor_order(threshold=10**9)
+        assert aggressive == never
+        assert sorted(aggressive) == [t for t in range(48) if t % 3]
+
 
 class TestCanonicalTrace:
     def test_digest_invariant_to_concurrent_order(self):
@@ -94,6 +128,7 @@ def _fig8_failure_digest(slingshot: bool, tie_shuffle_seed) -> str:
     return cell.trace.digest()
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("slingshot", [True, False], ids=["slingshot", "baseline"])
 def test_fig8_trace_identical_under_tie_shuffle(slingshot):
     reference = _fig8_failure_digest(slingshot, tie_shuffle_seed=None)
