@@ -14,6 +14,9 @@ The reproduction rests on invariants that used to live only in prose:
   pipeline's table, register-access, and SRAM/ALU budgets (§8.6).
 * **Perf timing funnel** — benchmark code in ``repro/perf`` reads wall
   time only through the sanctioned :mod:`repro.perf.timing` helper.
+* **Shard-worker purity** — ``repro/parallel`` holds no fork-divergent
+  module state, and shard workers (``*_shard``) draw randomness only
+  from seed-derived RngRegistry streams.
 
 ``python -m repro lint`` runs every registered rule over ``src/repro``
 (or explicit paths) and exits non-zero on findings. Individual findings
@@ -35,6 +38,7 @@ from repro.analysis.runner import lint_paths, lint_source
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import event_safety as _event_safety  # noqa: F401
 from repro.analysis import p4budget as _p4budget  # noqa: F401
+from repro.analysis import parallel_rules as _parallel_rules  # noqa: F401
 from repro.analysis import perf_rules as _perf_rules  # noqa: F401
 from repro.analysis import time_units as _time_units  # noqa: F401
 

@@ -1,0 +1,136 @@
+"""Parallel-execution rules (PAR0xx).
+
+The shard runner's determinism contract — "bit-identical to serial at
+any ``--jobs``" — only holds if shard workers are *pure functions of
+their payload*. Two properties make that true, and PAR001 makes both
+mechanical:
+
+* **No shared mutable state.** A module-level list/dict/set (or a
+  ``global`` rebind) in :mod:`repro.parallel` would be copied into each
+  forked worker and silently diverge between processes — the serial run
+  would see mutations that the parallel run loses. The one sanctioned
+  exception is a deterministic-by-construction cache (grown values
+  depend only on code, never on execution order), which must carry an
+  explicit suppression comment justifying itself.
+* **No RNGs outside the registry.** A shard worker that constructs its
+  own generator (``np.random.default_rng``, ``random.Random``) ties its
+  results to whatever ad-hoc seed it picked rather than to the shard's
+  seed-derived :class:`repro.sim.rng.RngRegistry` streams, breaking
+  replayability. Workers are the functions named ``*_shard`` — the
+  naming convention :mod:`repro.experiments.sweep` establishes — plus
+  everything inside ``repro/parallel/`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
+
+#: Call-name tails that construct a generator outside the registry.
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "Random"}
+
+#: Module-level value expressions that create mutable containers.
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_FACTORIES = {"list", "dict", "set", "defaultdict", "deque", "OrderedDict"}
+
+
+def _shard_functions(tree: ast.Module) -> List[ast.AST]:
+    """Every function whose name marks it as a shard worker."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name.endswith("_shard")
+    ]
+
+
+@register_rule
+class ParallelShardPurityRule(LintRule):
+    """PAR001: shard workers rebuild all state from their payload.
+
+    In ``repro/parallel/``: flags module-level mutable containers and
+    ``global`` statements (fork-divergent state). There *and* in any
+    function named ``*_shard`` anywhere in the tree: flags direct RNG
+    construction (``default_rng``/``Random``/``RandomState``) — shard
+    randomness must come from seed-derived RngRegistry streams.
+    """
+
+    rule_id = "PAR001"
+    title = "shard-worker purity violation"
+    severity = Severity.ERROR
+    fix_hint = (
+        "shard workers must rebuild state from the payload's seed via "
+        "RngRegistry streams; keep repro/parallel free of module-level "
+        "mutable state"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.module_parts:
+            return
+        in_parallel = ctx.module_parts[0] == "parallel"
+        if in_parallel:
+            yield from self._check_module_state(ctx)
+            yield from self._check_rng(ctx, ctx.tree)
+        else:
+            for function in _shard_functions(ctx.tree):
+                yield from self._check_rng(ctx, function)
+
+    def _check_module_state(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            targets: List[ast.AST]
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            names_list = [dotted_name(target) for target in targets]
+            if all(
+                name is not None and name.startswith("__") and name.endswith("__")
+                for name in names_list
+            ):
+                # Module dunders (__all__ & co) are interpreter metadata,
+                # not worker state.
+                continue
+            mutable = isinstance(value, _MUTABLE_LITERALS)
+            if not mutable and isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                mutable = name is not None and (
+                    name.split(".")[-1] in _MUTABLE_FACTORIES
+                )
+            if mutable:
+                names = ", ".join(name or "<target>" for name in names_list)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level mutable state {names!r} in repro.parallel "
+                    "(fork-divergent between workers)",
+                )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "global-statement rebind in repro.parallel "
+                    "(fork-divergent between workers)",
+                )
+
+    def _check_rng(self, ctx: LintContext, scope: ast.AST) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name.split(".")[-1] in _RNG_CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct RNG construction {name}() in shard-worker "
+                    "scope; use a seed-derived RngRegistry stream",
+                )

@@ -7,9 +7,10 @@ Usage::
     python -m repro fig8 --duration 12 --failure-at 2.6
     python -m repro table2 --duration 60 --rates 1 10 20 50
     python -m repro all --quick
+    python -m repro sec52 --jobs 4
     python -m repro lint [paths...]
-    python -m repro chaos [--scenario NAME ...] [--seeds 1 2 3]
-    python -m repro perf [--quick] [--check]
+    python -m repro chaos [--scenario NAME ...] [--seeds 1 2 3] [--jobs N]
+    python -m repro perf [--quick] [--check] [--jobs N]
 
 Each experiment command runs the corresponding harness from
 :mod:`repro.experiments` and prints its paper-style summary;
@@ -80,12 +81,12 @@ def _run_table2(args) -> str:
 
 
 def _run_sec52(args) -> str:
-    result = sec52_detector.run(trials=args.runs)
+    result = sec52_detector.run(trials=args.runs, jobs=args.jobs)
     return sec52_detector.summarize(result)
 
 
 def _run_sec82(args) -> str:
-    result = sec82_dropped_ttis.run(trials=args.runs)
+    result = sec82_dropped_ttis.run(trials=args.runs, jobs=args.jobs)
     return sec82_dropped_ttis.summarize(result)
 
 
@@ -141,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="migration rates for table2")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down durations for a fast pass")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for trial sweeps (sec52, sec82); "
+                             "results are bit-identical at any value")
     return parser
 
 

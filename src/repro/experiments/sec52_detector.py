@@ -13,13 +13,14 @@ false positives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
 from repro.core.failure_detector import DetectorConfig
+from repro.experiments.sweep import sweep_trials
 from repro.sim.units import MS, SECOND, US, ns_to_us, s_to_ns
 
 
@@ -38,38 +39,61 @@ class DetectorResult:
         return float(np.max(self.detection_latencies_us))
 
 
+def _detection_trial_shard(
+    payload: Tuple[int, int, int, Optional[DetectorConfig]],
+) -> Optional[float]:
+    """One kill trial: fresh cell from its seed, returns latency in µs.
+
+    Shard worker (PAR001): everything — including the kill offset the
+    serial loop used to draw inline — arrives in the payload, so the
+    result is identical whether this runs inline or in a pool worker.
+    """
+    seed, trial, offset_us, detector = payload
+    config = CellConfig(
+        seed=seed + trial,
+        ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
+    )
+    cell = build_slingshot_cell(config)
+    if detector is not None:
+        cell.middlebox.reconfigure_detector(detector)
+        cell.sim.schedule(
+            6 * cell.slot_ns, cell.middlebox.detector.set_monitor, 0, True
+        )
+    kill_at = s_to_ns(0.5) + offset_us * US
+    cell.kill_phy_at(0, kill_at)
+    cell.run_for(s_to_ns(0.8))
+    detected = cell.trace.last("mbox.failure_detected")
+    if detected is None:
+        return None
+    return ns_to_us(detected.time - kill_at)
+
+
 def run(
     trials: int = 8,
     healthy_seconds: float = 2.0,
     seed: int = 0,
     detector: Optional[DetectorConfig] = None,
+    jobs: int = 1,
 ) -> DetectorResult:
     """Measure detection latency over repeated kill trials.
 
     Each trial uses a fresh cell, kills the primary at a pseudo-random
     offset within a slot, and reads the switch's detection timestamp
-    from the trace.
+    from the trace. ``jobs > 1`` shards the trials over worker
+    processes with results identical to the serial loop: the per-trial
+    kill offsets are drawn up front in serial order and shipped inside
+    the shard payloads.
     """
     rng = np.random.default_rng(seed)
-    latencies: List[float] = []
     cfg = detector or DetectorConfig()
-    for trial in range(trials):
-        config = CellConfig(
-            seed=seed + trial,
-            ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
-        )
-        cell = build_slingshot_cell(config)
-        if detector is not None:
-            cell.middlebox.reconfigure_detector(cfg)
-            cell.sim.schedule(
-                6 * cell.slot_ns, cell.middlebox.detector.set_monitor, 0, True
-            )
-        kill_at = s_to_ns(0.5) + int(rng.integers(0, 500)) * US
-        cell.kill_phy_at(0, kill_at)
-        cell.run_for(s_to_ns(0.8))
-        detected = cell.trace.last("mbox.failure_detected")
-        if detected is not None:
-            latencies.append(ns_to_us(detected.time - kill_at))
+    payloads = [
+        (seed, trial, int(rng.integers(0, 500)), detector)
+        for trial in range(trials)
+    ]
+    values, _outcome = sweep_trials(
+        _detection_trial_shard, payloads, jobs=jobs, label="sec52"
+    )
+    latencies: List[float] = [value for value in values if value is not None]
     # False-positive check: a healthy cell must never trigger detection.
     config = CellConfig(seed=seed + 1000)
     healthy = build_slingshot_cell(config)

@@ -10,13 +10,14 @@ costs; planned migrations drop zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.baselines.vm_migration import PrecopyMigrationModel, TransportKind
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
+from repro.experiments.sweep import sweep_trials
 from repro.sim.units import US, s_to_ns
 
 
@@ -34,26 +35,43 @@ class DroppedTtiResult:
         return max(self.failover_dropped) if self.failover_dropped else 0
 
 
-def run(trials: int = 6, seed: int = 0) -> DroppedTtiResult:
+def _failover_trial_shard(payload: Tuple[int, int, int]) -> int:
+    """One failover trial: dropped-TTI count for a kill at the given
+    slot-phase offset. Shard worker (PAR001): state rebuilds from the
+    payload's seed; the kill offset was drawn by the caller in serial
+    order."""
+    seed, trial, offset_us = payload
+    config = CellConfig(
+        seed=seed + trial,
+        ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
+    )
+    cell = build_slingshot_cell(config)
+    cell.run_for(s_to_ns(0.5))
+    before = cell.ru.stats.slots_without_control
+    # Kill at a random phase within a slot (worst case is near the
+    # start of a slot, wasting most of the detector timeout).
+    kill_at = cell.sim.now + offset_us * US
+    cell.kill_phy_at(0, kill_at)
+    cell.run_for(s_to_ns(0.4))
+    return cell.ru.stats.slots_without_control - before
+
+
+def run(trials: int = 6, seed: int = 0, jobs: int = 1) -> DroppedTtiResult:
     """Count RU control gaps across failovers, a planned migration, and
-    the VM-migration equivalent."""
+    the VM-migration equivalent.
+
+    ``jobs > 1`` shards the failover trials over worker processes;
+    per-trial kill offsets are pre-drawn in serial order so the counts
+    are identical to the serial loop.
+    """
     rng = np.random.default_rng(seed)
     slot_us = 500.0
-    failover_dropped: List[int] = []
-    for trial in range(trials):
-        config = CellConfig(
-            seed=seed + trial,
-            ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
-        )
-        cell = build_slingshot_cell(config)
-        cell.run_for(s_to_ns(0.5))
-        before = cell.ru.stats.slots_without_control
-        # Kill at a random phase within a slot (worst case is near the
-        # start of a slot, wasting most of the detector timeout).
-        kill_at = cell.sim.now + int(rng.integers(0, 500)) * US
-        cell.kill_phy_at(0, kill_at)
-        cell.run_for(s_to_ns(0.4))
-        failover_dropped.append(cell.ru.stats.slots_without_control - before)
+    payloads = [
+        (seed, trial, int(rng.integers(0, 500))) for trial in range(trials)
+    ]
+    failover_dropped, _outcome = sweep_trials(
+        _failover_trial_shard, payloads, jobs=jobs, label="sec82"
+    )
     # Planned migration drops nothing.
     config = CellConfig(
         seed=seed + 500,

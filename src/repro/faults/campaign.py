@@ -4,6 +4,16 @@ Runs a scenario matrix x seeds, checks the recovery invariants on each
 run, optionally replays every (scenario, seed) pair to prove the trace
 digest is seed-stable, and emits a JSON report (by default into
 ``benchmarks/BENCH_chaos.json``).
+
+``--jobs N`` fans the independent ``(scenario, seed)`` shards out to a
+process pool (:mod:`repro.parallel`). Every shard rebuilds its cell
+from its own seed, results merge in canonical ``(scenario, seed)``
+order, and per-run output streams as shards complete (ordered flush) —
+so the report, the printed lines, and every canonical-trace digest are
+bit-identical to the serial run. Only the ``execution`` accounting
+block (wall times, peak RSS, measured speedup) differs between jobs
+values, and it is kept out of :meth:`CampaignReport.as_dict` so
+determinism stays mechanically checkable.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from repro.faults.scenarios import (
     scenario_by_name,
     standard_scenarios,
 )
+from repro.parallel.pool import available_parallelism, run_shards
+from repro.parallel.workers import run_campaign_shard
 from repro.transport.packet import FlowDirection, Packet
 from repro.transport.udp import UdpSender, UdpSink
 
@@ -73,6 +85,11 @@ class ScenarioRun:
 @dataclass
 class CampaignReport:
     runs: List[ScenarioRun] = field(default_factory=list)
+    #: Wall-clock/RSS accounting from the shard runner (jobs, per-shard
+    #: wall time, measured speedup). Machine facts, not behaviour: kept
+    #: out of :meth:`as_dict` so serial-vs-parallel comparisons stay
+    #: bit-exact; :meth:`bench_dict` includes it for the BENCH json.
+    execution: Optional[dict] = None
 
     @property
     def passed(self) -> bool:
@@ -94,6 +111,13 @@ class CampaignReport:
             "passed": self.passed,
             "runs": [r.as_dict() for r in self.runs],
         }
+
+    def bench_dict(self) -> dict:
+        """The persisted report: deterministic verdicts + execution facts."""
+        data = self.as_dict()
+        if self.execution is not None:
+            data["execution"] = self.execution
+        return data
 
 
 def _execute(scenario: ChaosScenario, seed: int):
@@ -179,15 +203,27 @@ def run_campaign(
     seeds: Sequence[int] = (1, 2, 3),
     replay: bool = False,
     progress=None,
+    jobs: int = 1,
 ) -> CampaignReport:
-    report = CampaignReport()
-    for scenario in scenarios if scenarios is not None else standard_scenarios():
-        for seed in seeds:
-            run = run_scenario(scenario, seed, replay=replay)
-            report.runs.append(run)
-            if progress is not None:
-                progress(run)
-    return report
+    """Run the (scenario x seed) matrix, optionally on ``jobs`` workers.
+
+    The shard key is the canonical ``(scenario name, seed)`` pair;
+    results merge — and ``progress`` streams — in that order at every
+    jobs value, so the returned report is identical to a serial run.
+    """
+    selected = list(scenarios) if scenarios is not None else list(standard_scenarios())
+    shards = [
+        ((scenario.name, seed), (scenario, seed, replay))
+        for scenario in selected
+        for seed in seeds
+    ]
+    outcome = run_shards(
+        run_campaign_shard,
+        shards,
+        jobs=jobs,
+        progress=None if progress is None else (lambda key, run: progress(run)),
+    )
+    return CampaignReport(runs=outcome.values(), execution=outcome.accounting())
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +268,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the digest-stability replay of each run (faster)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the (scenario, seed) shards; 0 = one "
+        "per CPU core. Results are bit-identical at any value (default: 1)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     parser.add_argument(
@@ -263,27 +307,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         selected = list(standard_scenarios())
 
+    if args.jobs < 0:
+        print("repro chaos: --jobs must be >= 0", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs > 0 else available_parallelism()
+
     def progress(run: ScenarioRun) -> None:
         if args.format == "text":
             print(_format_run(run), flush=True)
 
     report = run_campaign(
-        selected, seeds=args.seeds, replay=not args.no_replay, progress=progress
+        selected, seeds=args.seeds, replay=not args.no_replay,
+        progress=progress, jobs=jobs,
     )
     if args.format == "json":
-        print(json.dumps(report.as_dict(), indent=2))
+        print(json.dumps(report.bench_dict(), indent=2))
     else:
         failed = sum(1 for r in report.runs if not r.passed)
         mismatched = sum(
             1 for r in report.runs if r.replay_digest_matched is False
         )
-        print(
+        summary = (
             f"\n{len(report.runs)} runs, {failed} failed, "
             f"{mismatched} replay mismatches"
         )
+        if report.execution is not None:
+            speedup = report.execution.get("parallel_speedup")
+            summary += (
+                f"  [jobs={report.execution['effective_jobs']}"
+                + (f", speedup {speedup:.2f}x" if speedup else "")
+                + "]"
+            )
+        print(summary)
     if args.bench is not None:
         args.bench.parent.mkdir(parents=True, exist_ok=True)
-        args.bench.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        args.bench.write_text(json.dumps(report.bench_dict(), indent=2) + "\n")
     return 0 if report.passed else 1
 
 

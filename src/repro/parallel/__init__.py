@@ -1,0 +1,36 @@
+"""Sharded parallel execution for campaign/sweep workloads.
+
+The chaos campaign, the experiment sweeps, and the perf macro scenarios
+are all embarrassingly parallel: every ``(scenario, seed)`` or
+``(experiment, config)`` pair builds its own cell from its own seed and
+never touches another shard's state. :mod:`repro.parallel.pool` fans
+those shards out to ``multiprocessing`` workers and merges the results
+deterministically — results are keyed by shard key and merged in
+canonical (submission) order, so the merged report and every per-run
+canonical-trace digest are bit-identical to the serial run, at any
+``--jobs`` value.
+
+Worker entrypoints live in :mod:`repro.parallel.workers` so they are
+importable (picklable) from a fresh interpreter and statically checkable
+by the PAR001 lint rule: shard workers must not read module-level
+mutable state or create RNGs outside the shard-key-derived
+:class:`~repro.sim.rng.RngRegistry` namespace.
+"""
+
+from repro.parallel.pool import (
+    ShardCrash,
+    ShardError,
+    ShardOutcome,
+    ShardStats,
+    available_parallelism,
+    run_shards,
+)
+
+__all__ = [
+    "ShardCrash",
+    "ShardError",
+    "ShardOutcome",
+    "ShardStats",
+    "available_parallelism",
+    "run_shards",
+]

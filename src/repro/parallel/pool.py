@@ -1,0 +1,364 @@
+"""Process-pool shard runner with digest-verified determinism.
+
+``run_shards`` executes independent ``(key, payload)`` shards through a
+top-level worker function, either serially (``jobs <= 1``, single shard,
+or no ``fork`` support) or on a warm ``ProcessPoolExecutor``. The
+determinism contract, relied on by the chaos campaign, the experiment
+sweeps, and the perf macro scenarios:
+
+* every shard is self-contained — the worker rebuilds all state from the
+  shard payload (ultimately from a seed), so a shard's result does not
+  depend on which process ran it or in what order;
+* results are keyed by shard key and merged in **canonical order** (the
+  submission order), so the merged result list is bit-identical to a
+  serial run;
+* the ``progress`` callback fires once per shard **in canonical order**
+  (an ordered flush over out-of-order completions), so streamed output
+  at ``--jobs N`` matches serial output line for line.
+
+Failure handling never hangs the sweep: a worker exception is carried
+back as data and re-raised as :class:`ShardError` naming the shard key
+at its canonical position; a hard worker death (e.g. the kernel OOM
+killer, ``os._exit``) breaks the pool and is surfaced as
+:class:`ShardCrash` naming the unfinished shard keys.
+
+Accounting: each shard records its own wall time and the worker
+process's peak RSS (a process high-water mark — warm workers carry the
+maximum over every shard they have run), and the outcome derives the
+parallel speedup estimate ``sum(shard wall) / sweep wall`` for the
+BENCH json files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.timing import wall_ns
+
+try:  # pragma: no cover - always present on the Linux/macOS targets
+    import resource
+except ImportError:  # pragma: no cover - Windows fallback
+    resource = None  # type: ignore[assignment]
+
+#: Shard key: any picklable, hashable value; printed in errors/reports.
+ShardKey = Any
+
+#: Worker signature: one payload in, one picklable result out.
+ShardWorker = Callable[[Any], Any]
+
+
+class ShardError(RuntimeError):
+    """A shard worker raised; carries the shard key and the traceback."""
+
+    def __init__(self, key: ShardKey, traceback_text: str) -> None:
+        super().__init__(
+            f"shard {key!r} failed in worker:\n{traceback_text}"
+        )
+        self.key = key
+        self.traceback_text = traceback_text
+
+
+class ShardCrash(RuntimeError):
+    """A worker process died without reporting (hard crash).
+
+    ``candidate_keys`` lists, in canonical order, every shard that had
+    not completed when the pool broke — the crashed shard is among them
+    (usually first; the executor cannot attribute the death exactly).
+    """
+
+    def __init__(self, candidate_keys: Sequence[ShardKey]) -> None:
+        keys = list(candidate_keys)
+        super().__init__(
+            "worker process died; unfinished shard(s): "
+            + ", ".join(repr(key) for key in keys)
+        )
+        self.candidate_keys = keys
+
+
+@dataclass
+class ShardStats:
+    """Per-shard execution accounting (non-deterministic, machine facts)."""
+
+    key: ShardKey
+    wall_seconds: float
+    peak_rss_kb: int
+    pid: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "key": list(self.key) if isinstance(self.key, tuple) else self.key,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "peak_rss_kb": self.peak_rss_kb,
+            "pid": self.pid,
+        }
+
+
+@dataclass
+class ShardOutcome:
+    """A completed sweep: deterministic results plus execution accounting.
+
+    ``results`` and ``stats`` are in canonical (submission) order;
+    ``results`` values are whatever the worker returned. Everything
+    under :meth:`accounting` is wall-clock/RSS bookkeeping and is
+    excluded from determinism comparisons by construction.
+    """
+
+    requested_jobs: int
+    effective_jobs: int
+    mode: str  # "serial" | "fork"
+    keys: List[ShardKey] = field(default_factory=list)
+    results: Dict[ShardKey, Any] = field(default_factory=dict)
+    stats: List[ShardStats] = field(default_factory=list)
+    total_wall_seconds: float = 0.0
+
+    @property
+    def shard_wall_seconds(self) -> float:
+        """Serial-equivalent work: the sum of per-shard wall times."""
+        return sum(stat.wall_seconds for stat in self.stats)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Estimated speedup vs running the same shards back to back.
+
+        Computed as ``sum(shard wall) / sweep wall``. Exact when workers
+        do not contend for cores; under contention per-shard walls
+        inflate, making this an upper bound — the perf harness gates on
+        a true serial-vs-parallel wall ratio instead (see
+        :data:`repro.perf.harness.SPEEDUP_PAIRS`).
+        """
+        if self.total_wall_seconds <= 0:
+            return None
+        return self.shard_wall_seconds / self.total_wall_seconds
+
+    def values(self) -> List[Any]:
+        """Worker results in canonical order."""
+        return [self.results[key] for key in self.keys]
+
+    def accounting(self) -> Dict[str, Any]:
+        """The execution block recorded in BENCH json files."""
+        speedup = self.speedup
+        return {
+            "jobs": self.requested_jobs,
+            "effective_jobs": self.effective_jobs,
+            "mode": self.mode,
+            "shards": len(self.keys),
+            "wall_seconds": round(self.total_wall_seconds, 4),
+            "shard_wall_seconds": round(self.shard_wall_seconds, 4),
+            "parallel_speedup": None if speedup is None else round(speedup, 3),
+            "max_peak_rss_kb": max(
+                (stat.peak_rss_kb for stat in self.stats), default=0
+            ),
+            "per_shard": [stat.as_dict() for stat in self.stats],
+        }
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (>= 1); the honest ceiling for ``--jobs``."""
+    return os.cpu_count() or 1
+
+
+def _calibration_burn(iterations: int) -> int:
+    """Fixed-work CPU burn for the parallelism probe (pure compute)."""
+    total = 0
+    for i in range(iterations):
+        total += i
+    return total
+
+
+@lru_cache(maxsize=None)
+def measured_parallelism(jobs: int, iterations: int = 8_000_000) -> float:
+    """Measured throughput ratio of ``jobs`` workers over serial execution.
+
+    Runs the same fixed-size burn workload serially and on a ``jobs``-wide
+    pool and returns ``serial wall / parallel wall``. This is the *real*
+    core capacity of the machine — container CPU accounting frequently
+    lies in both directions (``os.cpu_count()`` can report 1 on a box
+    that schedules 4 processes concurrently, and vice versa), and
+    per-shard wall sums double-count contention, so an end-to-end probe
+    is the only trustworthy basis for parallel-speedup perf gates.
+    Cached per process; costs a few hundred milliseconds on first call.
+    """
+    if jobs <= 1 or not fork_available():
+        return 1.0
+    shards = [(index, iterations) for index in range(jobs)]
+    start = wall_ns()
+    for _, work in shards:
+        _calibration_burn(work)
+    serial = wall_ns() - start
+    parallel = run_shards(_calibration_burn, shards, jobs=jobs)
+    if parallel.total_wall_seconds <= 0:
+        return 1.0
+    return max(1.0, (serial / 1e9) / parallel.total_wall_seconds)
+
+
+def fork_available() -> bool:
+    """True when the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak RSS in KiB (0 where unsupported)."""
+    if resource is None:  # pragma: no cover - Windows fallback
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return int(usage // 1024) if usage > 1 << 30 else int(usage)
+
+
+def _shard_entry(worker: ShardWorker, key: ShardKey, payload: Any) -> Dict[str, Any]:
+    """Top-level worker wrapper: run one shard, never raise.
+
+    Exceptions are serialized into the reply so a failing shard cannot
+    take down the pool (only a hard process death can), and the caller
+    re-raises at the shard's canonical position.
+    """
+    start = wall_ns()
+    try:
+        value = worker(payload)
+        error = None
+    except Exception:  # noqa: BLE001 - carried back verbatim as ShardError
+        import traceback
+
+        value = None
+        error = traceback.format_exc()
+    return {
+        "value": value,
+        "error": error,
+        "wall_seconds": (wall_ns() - start) / 1e9,
+        "peak_rss_kb": _peak_rss_kb(),
+        "pid": os.getpid(),
+    }
+
+
+def _finish(
+    outcome: ShardOutcome,
+    key: ShardKey,
+    reply: Dict[str, Any],
+    progress: Optional[Callable[[ShardKey, Any], None]],
+) -> None:
+    """Record one shard's reply (canonical position) and stream it."""
+    if reply["error"] is not None:
+        raise ShardError(key, reply["error"])
+    outcome.results[key] = reply["value"]
+    outcome.stats.append(
+        ShardStats(
+            key=key,
+            wall_seconds=reply["wall_seconds"],
+            peak_rss_kb=reply["peak_rss_kb"],
+            pid=reply["pid"],
+        )
+    )
+    if progress is not None:
+        progress(key, reply["value"])
+
+
+def _run_serial(
+    worker: ShardWorker,
+    shards: Sequence[Tuple[ShardKey, Any]],
+    outcome: ShardOutcome,
+    progress: Optional[Callable[[ShardKey, Any], None]],
+) -> ShardOutcome:
+    start = wall_ns()
+    for key, payload in shards:
+        _finish(outcome, key, _shard_entry(worker, key, payload), progress)
+    outcome.total_wall_seconds = (wall_ns() - start) / 1e9
+    return outcome
+
+
+def _run_pool(
+    worker: ShardWorker,
+    shards: Sequence[Tuple[ShardKey, Any]],
+    outcome: ShardOutcome,
+    progress: Optional[Callable[[ShardKey, Any], None]],
+) -> ShardOutcome:
+    keys = [key for key, _ in shards]
+    start = wall_ns()
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=outcome.effective_jobs, mp_context=context
+    ) as executor:
+        index_of = {}
+        futures = []
+        for index, (key, payload) in enumerate(shards):
+            future = executor.submit(_shard_entry, worker, key, payload)
+            index_of[future] = index
+            futures.append(future)
+        # Ordered flush: buffer out-of-order completions, stream each
+        # shard exactly when every earlier shard has been streamed.
+        buffered: Dict[int, Dict[str, Any]] = {}
+        completed: set = set()
+        next_flush = 0
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            crashed = False
+            for future in done:
+                index = index_of[future]
+                try:
+                    buffered[index] = future.result()
+                    completed.add(index)
+                except BrokenProcessPool:
+                    crashed = True
+                except Exception as exc:  # e.g. an unpicklable result
+                    raise ShardError(keys[index], repr(exc)) from exc
+            if crashed:
+                unfinished = [
+                    keys[i] for i in range(len(keys)) if i not in completed
+                ]
+                raise ShardCrash(unfinished) from None
+            while next_flush in buffered:
+                _finish(
+                    outcome, keys[next_flush], buffered.pop(next_flush), progress
+                )
+                next_flush += 1
+    outcome.total_wall_seconds = (wall_ns() - start) / 1e9
+    return outcome
+
+
+def run_shards(
+    worker: ShardWorker,
+    shards: Sequence[Tuple[ShardKey, Any]],
+    jobs: int = 1,
+    progress: Optional[Callable[[ShardKey, Any], None]] = None,
+) -> ShardOutcome:
+    """Run every shard through ``worker`` and merge deterministically.
+
+    Parameters
+    ----------
+    worker:
+        Top-level (picklable) function mapping one payload to one
+        picklable result. Workers must rebuild all state from the
+        payload; PAR001 lints the sanctioned entrypoints.
+    shards:
+        Ordered ``(key, payload)`` pairs; the order is the canonical
+        merge/flush order and keys must be unique.
+    jobs:
+        Worker process count. ``1`` (or an unavailable ``fork`` start
+        method, or a single shard) runs serially in-process; values are
+        clamped to the shard count.
+    progress:
+        Optional ``progress(key, value)`` callback, invoked in canonical
+        order as results stream in.
+    """
+    keys = [key for key, _ in shards]
+    if len(set(keys)) != len(keys):
+        raise ValueError("shard keys must be unique")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    effective = max(1, min(jobs, len(shards)))
+    use_pool = effective > 1 and fork_available()
+    outcome = ShardOutcome(
+        requested_jobs=jobs,
+        effective_jobs=effective if use_pool else 1,
+        mode="fork" if use_pool else "serial",
+        keys=keys,
+    )
+    if not use_pool:
+        return _run_serial(worker, shards, outcome, progress)
+    return _run_pool(worker, shards, outcome, progress)

@@ -1,0 +1,59 @@
+"""Sanctioned shard-worker entrypoints.
+
+Every function here is a top-level, picklable worker for
+:func:`repro.parallel.pool.run_shards`. Workers rebuild **all** state
+from their payload (ultimately from the shard's seed): they hold no
+module-level state, and any randomness they trigger flows through the
+shard's own seed-derived :class:`~repro.sim.rng.RngRegistry` streams —
+the PAR001 lint rule enforces both properties, which is what makes the
+"bit-identical to serial at any --jobs" guarantee checkable rather than
+aspirational.
+
+Imports of the heavyweight driver modules happen inside the workers:
+the drivers import this module's pool machinery, and lazy imports keep
+the dependency one-way at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+
+def run_campaign_shard(payload: Tuple[Any, int, bool]) -> Any:
+    """One chaos-campaign ``(scenario, seed)`` run, optionally replayed.
+
+    Returns the :class:`~repro.faults.campaign.ScenarioRun` verdict —
+    plain data, identical whether computed in-process or in a worker.
+    """
+    from repro.faults.campaign import run_scenario
+
+    scenario, seed, replay = payload
+    return run_scenario(scenario, seed, replay=replay)
+
+
+def run_chaos_events_shard(payload: Tuple[str, int]) -> Dict[str, Any]:
+    """One chaos scenario run reduced to perf facts (digest/events/sim_ns)."""
+    from repro.perf.scenarios import run_chaos_cell
+
+    scenario_name, seed = payload
+    cell = run_chaos_cell(scenario_name, seed)
+    return {
+        "digest": cell.trace.digest(),
+        "events": cell.sim.events_processed,
+        "sim_ns": cell.sim.now,
+    }
+
+
+def run_perf_benchmark_shard(payload: Tuple[str, bool]) -> Dict[str, Any]:
+    """One named perf-catalog benchmark, timed inside the worker."""
+    from repro.perf.benchmarks import CATALOG
+
+    name, quick = payload
+    raw = CATALOG[name].run(quick)
+    return {
+        "events": raw.events,
+        "wall_seconds": raw.wall_seconds,
+        "sim_ns": raw.sim_ns,
+        "digest": raw.digest,
+        "extra": raw.extra,
+    }

@@ -21,6 +21,7 @@ comparable across modes and across machines.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -68,6 +69,10 @@ class BenchmarkSpec:
     #: For macro specs: the zero-arg scenario runner, re-run under the
     #: sampler when profiling (separately from the timed run).
     scenario: Optional[Callable[[], Any]] = None
+    #: False for benchmarks that must run in the parent process even
+    #: under ``perf --jobs N`` — the shard-runner pair manages its own
+    #: pool, and nesting pools would corrupt its measurement.
+    fanout: bool = True
 
 
 # ----------------------------------------------------------------------
@@ -340,6 +345,135 @@ def _run_link_delivery(quick: bool) -> RawRun:
 
 
 # ----------------------------------------------------------------------
+# Batched PHY slot workload
+# ----------------------------------------------------------------------
+def _phy_slot_corpus(count: int = 24) -> List[Any]:
+    """A deterministic mixed-modulation uplink slot's transport blocks
+    (reserved RNG stream)."""
+    from repro.phy.transport import LinkDirection, TransportBlock
+
+    rng = RngRegistry(CORPUS_SEED).stream("perf.phy_slot")
+    modulations = list(Modulation)
+    return [
+        TransportBlock(
+            ue_id=1 + (i % 8),
+            direction=LinkDirection.UPLINK,
+            harq_process=i % 16,
+            modulation=modulations[int(rng.integers(0, len(modulations)))],
+            prbs=int(rng.integers(1, 273)),
+            data=None,
+            size_bytes=int(rng.integers(32, 4096)),
+            new_data=True,
+            retx_index=0,
+            slot=0,
+            tb_id=5000 + i,
+        )
+        for i in range(count)
+    ]
+
+
+def _phy_slot_run(batched: bool, repeats: int) -> RawRun:
+    """Encode + soft-demodulate one slot's blocks, per-block or batched.
+
+    Both legs do identical arithmetic (the batch kernels are pinned
+    bit-identical to the per-block references), so the events/sec ratio
+    is the pure batching speedup the harness gates on.
+    """
+    import numpy as np
+
+    from repro.phy.batch import demodulate_llr_batch
+    from repro.phy.codec import PhyCodec
+    from repro.phy.modulation import demodulate_llr
+
+    blocks = _phy_slot_corpus()
+    codec = PhyCodec(np.random.default_rng(CORPUS_SEED))
+    modulations = [block.modulation for block in blocks]
+    noise_vars = [0.2 + 0.01 * i for i in range(len(blocks))]
+    # Warm the caches (LDPC code, CRC position tables) outside the timing.
+    codec.encode_blocks(blocks[:1])
+    processed = 0
+    start = wall_ns()
+    for _ in range(repeats):
+        if batched:
+            symbols = codec.encode_blocks(blocks)
+            demodulate_llr_batch(symbols, modulations, noise_vars)
+        else:
+            symbols = [codec.encode_block(block) for block in blocks]
+            for sym, modulation, noise in zip(symbols, modulations, noise_vars):
+                demodulate_llr(sym, modulation, noise)
+        processed += len(blocks)
+    wall = (wall_ns() - start) / 1e9
+    return RawRun(events=processed, wall_seconds=wall)
+
+
+def _run_phy_slot_scalar(quick: bool) -> RawRun:
+    return _phy_slot_run(batched=False, repeats=30 if quick else 120)
+
+
+def _run_phy_slot_batch(quick: bool) -> RawRun:
+    return _phy_slot_run(batched=True, repeats=30 if quick else 120)
+
+
+# ----------------------------------------------------------------------
+# Sharded campaign workload (the scale-out pair)
+# ----------------------------------------------------------------------
+#: Worker count for the parallel leg of the campaign pair (the --check
+#: gate is calibrated against :func:`repro.parallel.pool.measured_parallelism`
+#: at this jobs value).
+PARALLEL_BENCH_JOBS = 4
+
+#: The (scenario, seed) shards both campaign legs run.
+_CAMPAIGN_BENCH_SHARDS = (
+    ("cmd_drop", 1),
+    ("crash_restart", 1),
+    ("cmd_drop", 2),
+    ("crash_restart", 2),
+)
+
+
+def _campaign_shards_run(jobs: int) -> RawRun:
+    """Run the fixed chaos shard set through the shard runner.
+
+    Both legs go through :func:`repro.parallel.pool.run_shards` (jobs=1
+    vs jobs=N) so the measured ratio is the pool's real speedup, not
+    wrapper overhead. The digest is the SHA-256 over the per-shard
+    canonical digests in shard order — identical at every jobs value,
+    which makes the --check digest comparison double as the
+    serial-vs-parallel determinism proof.
+    """
+    from repro.parallel.pool import measured_parallelism, run_shards
+    from repro.parallel.workers import run_chaos_events_shard
+
+    shards = [(key, key) for key in _CAMPAIGN_BENCH_SHARDS]
+    start = wall_ns()
+    outcome = run_shards(run_chaos_events_shard, shards, jobs=jobs)
+    wall = (wall_ns() - start) / 1e9
+    values = outcome.values()
+    combined = hashlib.sha256(
+        "".join(value["digest"] for value in values).encode("ascii")
+    ).hexdigest()
+    extra: Dict[str, float] = {"shards": float(len(values))}
+    if jobs > 1:
+        extra["effective_jobs"] = float(outcome.effective_jobs)
+        extra["measured_parallelism"] = round(measured_parallelism(jobs), 3)
+    return RawRun(
+        events=sum(value["events"] for value in values),
+        wall_seconds=wall,
+        sim_ns=sum(value["sim_ns"] for value in values),
+        digest=combined,
+        extra=extra,
+    )
+
+
+def _run_campaign_shards_serial(quick: bool) -> RawRun:
+    return _campaign_shards_run(jobs=1)
+
+
+def _run_campaign_shards_parallel(quick: bool) -> RawRun:
+    return _campaign_shards_run(jobs=PARALLEL_BENCH_JOBS)
+
+
+# ----------------------------------------------------------------------
 # Macro scenarios
 # ----------------------------------------------------------------------
 def _macro_runner(scenario_name: str) -> Callable[[bool], RawRun]:
@@ -362,9 +496,10 @@ def _macro_runner(scenario_name: str) -> Callable[[bool], RawRun]:
 
 def _spec(name: str, kind: str, description: str,
           run: Callable[[bool], RawRun],
-          scenario: Optional[Callable[[], Any]] = None) -> BenchmarkSpec:
+          scenario: Optional[Callable[[], Any]] = None,
+          fanout: bool = True) -> BenchmarkSpec:
     return BenchmarkSpec(name=name, kind=kind, description=description,
-                         run=run, scenario=scenario)
+                         run=run, scenario=scenario, fanout=fanout)
 
 
 #: Ordered benchmark catalog; iteration order is report order.
@@ -392,6 +527,19 @@ CATALOG: Dict[str, BenchmarkSpec] = {
         _spec("link_delivery", "micro",
               "frame serialization + delivery on a 100 GbE link model",
               _run_link_delivery),
+        _spec("phy_slot_scalar", "micro",
+              "one uplink slot encoded+demodulated block by block (baseline)",
+              _run_phy_slot_scalar),
+        _spec("phy_slot_batch", "micro",
+              "same slot through the batched PHY kernels (pinned identical)",
+              _run_phy_slot_batch),
+        _spec("campaign_shards_serial", "macro",
+              "four chaos (scenario, seed) shards back to back (baseline)",
+              _run_campaign_shards_serial, fanout=False),
+        _spec("campaign_shards_parallel", "macro",
+              f"same shards on a {PARALLEL_BENCH_JOBS}-worker pool "
+              "(digest-identical to serial)",
+              _run_campaign_shards_parallel, fanout=False),
         _spec("macro_fig9", "macro",
               "full cell: 3-UE ping through PHY failover (fig 9 shape)",
               _macro_runner("fig9"), DIGEST_SCENARIOS["fig9"]),

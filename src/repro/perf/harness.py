@@ -33,12 +33,38 @@ MIN_ENGINE_SPEEDUP = 1.3
 QUICK_MIN_ENGINE_SPEEDUP = 1.1
 #: Codec fast path must at least not be slower than the reference.
 MIN_CODEC_SPEEDUP = 1.0
+#: Batched PHY kernels must beat the per-block loop on a full slot.
+MIN_PHY_BATCH_SPEEDUP = 1.15
+QUICK_MIN_PHY_BATCH_SPEEDUP = 1.05
+#: Required campaign speedup at the parallel leg's jobs value — but only
+#: on machines that really have that parallel capacity; see
+#: :func:`parallel_speedup_gate`.
+MIN_PARALLEL_SPEEDUP = 1.8
 
 #: speedup name -> (optimized benchmark, baseline benchmark).
 SPEEDUP_PAIRS: Dict[str, tuple] = {
     "engine_churn": ("engine_churn", "engine_churn_legacy"),
     "fapi_codec": ("fapi_codec", "fapi_codec_reference"),
+    "phy_slot_batch": ("phy_slot_batch", "phy_slot_scalar"),
+    "parallel_campaign": ("campaign_shards_parallel", "campaign_shards_serial"),
 }
+
+
+def parallel_speedup_gate(measured_parallelism: float) -> float:
+    """The ``parallel_campaign`` gate, scaled to real machine capacity.
+
+    ``measured_parallelism`` is the calibration probe's throughput ratio
+    (:func:`repro.parallel.pool.measured_parallelism`) — trusted over
+    ``os.cpu_count()``, which containers routinely misreport in both
+    directions. On a machine whose probe shows genuine >= 3x capacity at
+    the pair's 4-worker setting, the campaign must parallelize at
+    >= 1.8x; on throttled machines the gate degrades to about half the
+    probe (never below 0.4x — the pool must at minimum not be a
+    catastrophic slowdown).
+    """
+    if measured_parallelism >= 3.0:
+        return MIN_PARALLEL_SPEEDUP
+    return max(0.4, 0.5 * measured_parallelism)
 
 #: Default rate-regression tolerance: fail only below half baseline rate.
 DEFAULT_TOLERANCE = 0.5
@@ -110,9 +136,13 @@ class PerfReport:
     quick: bool
     results: Dict[str, BenchmarkResult] = field(default_factory=dict)
     speedups: Dict[str, float] = field(default_factory=dict)
+    #: Shard-runner accounting when the macro set ran under ``--jobs N``
+    #: (jobs, per-shard wall, parallel speedup). Machine facts — recorded
+    #: in the BENCH json, ignored by :func:`check_report`.
+    execution: Optional[Dict] = None
 
     def as_dict(self) -> Dict:
-        return {
+        data = {
             "benchmark": "perf",
             "generated_by": "python -m repro perf"
             + (" --quick" if self.quick else ""),
@@ -122,6 +152,9 @@ class PerfReport:
                 name: result.as_dict() for name, result in self.results.items()
             },
         }
+        if self.execution is not None:
+            data["execution"] = self.execution
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PerfReport":
@@ -132,6 +165,7 @@ class PerfReport:
                 for name, entry in data.get("benchmarks", {}).items()
             },
             speedups={k: float(v) for k, v in data.get("speedups", {}).items()},
+            execution=data.get("execution"),
         )
 
     def write(self, path: Path) -> None:
@@ -168,12 +202,20 @@ def run_benchmarks(
     quick: bool = False,
     profile: Optional[bool] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> PerfReport:
     """Run (a subset of) the catalog and return the derived report.
 
     ``profile`` controls the sampler pass over macro scenarios: ``None``
     means "full runs only" — the pass re-runs each macro scenario under
     :class:`PopSampler` so the *timed* run stays unperturbed.
+
+    ``jobs > 1`` fans the macro scenarios out over worker processes
+    (their timings are taken *inside* each worker, and their digests are
+    deterministic, so the report differs from a serial run only in the
+    ``execution`` accounting). Micro benchmarks always run serially in
+    the parent — their rates are contention-sensitive — as does the
+    profiling pass and any benchmark that manages its own pool.
     """
     selected = list(CATALOG) if names is None else list(names)
     unknown = [name for name in selected if name not in CATALOG]
@@ -182,11 +224,42 @@ def run_benchmarks(
     do_profile = (not quick) if profile is None else profile
 
     report = PerfReport(quick=quick)
+    fanned: Dict[str, RawRun] = {}
+    fan_names = [
+        name for name in selected
+        if CATALOG[name].kind == "macro" and CATALOG[name].fanout
+    ]
+    if jobs > 1 and len(fan_names) > 1:
+        from repro.parallel.pool import run_shards
+        from repro.parallel.workers import run_perf_benchmark_shard
+
+        if progress is not None:
+            progress(
+                f"running {len(fan_names)} macro benchmark(s) on "
+                f"{jobs} workers ..."
+            )
+        outcome = run_shards(
+            run_perf_benchmark_shard,
+            [(name, (name, quick)) for name in fan_names],
+            jobs=jobs,
+        )
+        for name, reply in zip(fan_names, outcome.values()):
+            fanned[name] = RawRun(
+                events=reply["events"],
+                wall_seconds=reply["wall_seconds"],
+                sim_ns=reply["sim_ns"],
+                digest=reply["digest"],
+                extra=reply["extra"],
+            )
+        report.execution = outcome.accounting()
     for name in selected:
         spec = CATALOG[name]
-        if progress is not None:
-            progress(f"running {name} ({spec.kind}) ...")
-        result = _derive(spec, spec.run(quick))
+        raw = fanned.get(name)
+        if raw is None:
+            if progress is not None:
+                progress(f"running {name} ({spec.kind}) ...")
+            raw = spec.run(quick)
+        result = _derive(spec, raw)
         if do_profile and spec.scenario is not None:
             with PopSampler(every=PROFILE_EVERY) as sampler:
                 spec.scenario()
@@ -229,7 +302,18 @@ def check_report(
                 )
 
     engine_gate = QUICK_MIN_ENGINE_SPEEDUP if current.quick else MIN_ENGINE_SPEEDUP
-    gates = {"engine_churn": engine_gate, "fapi_codec": MIN_CODEC_SPEEDUP}
+    phy_gate = (
+        QUICK_MIN_PHY_BATCH_SPEEDUP if current.quick else MIN_PHY_BATCH_SPEEDUP
+    )
+    gates = {
+        "engine_churn": engine_gate,
+        "fapi_codec": MIN_CODEC_SPEEDUP,
+        "phy_slot_batch": phy_gate,
+    }
+    parallel_result = current.results.get("campaign_shards_parallel")
+    if parallel_result is not None:
+        probe = parallel_result.extra.get("measured_parallelism", 1.0)
+        gates["parallel_campaign"] = parallel_speedup_gate(probe)
     for label, gate in gates.items():
         speedup = current.speedups.get(label)
         if speedup is not None and speedup < gate:

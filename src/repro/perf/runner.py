@@ -6,6 +6,7 @@ Usage::
     python -m repro perf --quick            # shorter micro workloads, no profiling
     python -m repro perf --check            # regression gate vs BENCH_perf.json
     python -m repro perf --check --quick    # the tier-1 smoke configuration
+    python -m repro perf --jobs 4          # macro scenarios on 4 workers
     python -m repro perf engine_churn engine_churn_legacy
     python -m repro perf --list
 
@@ -65,6 +66,13 @@ def _format_text(report: PerfReport) -> str:
         lines.append("speedups: " + ", ".join(
             f"{label} {value:.2f}x" for label, value in report.speedups.items()
         ))
+    if report.execution is not None:
+        speedup = report.execution.get("parallel_speedup")
+        lines.append(
+            f"macro fan-out: jobs={report.execution['effective_jobs']} "
+            f"over {report.execution['shards']} shard(s)"
+            + (f", speedup {speedup:.2f}x" if speedup else "")
+        )
     return "\n".join(lines)
 
 
@@ -102,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: on for full runs, off for --quick)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the macro scenarios (0 = one per CPU "
+             "core); micro rates and all digests are unaffected (default: 1)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default: text)",
     )
@@ -133,6 +146,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
+    if args.jobs < 0:
+        print("repro perf: --jobs must be >= 0", file=sys.stderr)
+        return 2
+    if args.jobs == 0:
+        from repro.parallel.pool import available_parallelism
+
+        args.jobs = available_parallelism()
+
     names: Optional[List[str]] = args.names or None
     if names is None and baseline is not None:
         # Check exactly what the baseline recorded (plus nothing stale).
@@ -141,6 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = run_benchmarks(
             names=names, quick=args.quick, profile=args.profile,
             progress=(print if args.format == "text" else None),
+            jobs=args.jobs,
         )
     except KeyError as exc:
         print(f"repro perf: {exc.args[0]}", file=sys.stderr)

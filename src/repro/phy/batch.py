@@ -1,0 +1,155 @@
+"""Batched PHY kernels: one numpy call per slot, not one per UE.
+
+The scale-up counterpart to :mod:`repro.parallel`'s scale-out: where the
+shard runner spreads independent runs across cores, these kernels make a
+single run process **all transport blocks in a slot together** — CRC
+attach, LDPC bit operations, and modulation map/demap each collapse from
+a per-UE Python loop into one vectorized call.
+
+Every batch kernel is pinned **byte-identical** to a loop over its
+per-block reference (``tests/test_phy_batch.py`` fuzzes the pins), which
+stays the normative implementation per the repo's optimization
+convention. The pins are exact, not approximate: grouping blocks by
+modulation and concatenating their bits feeds the very same elementwise
+numpy operations the per-block calls run, so not a single float may
+differ — and the golden macro-scenario digests enforce that end to end,
+because :meth:`repro.phy.codec.PhyCodec.encode_blocks` drives the live
+uplink slot pipeline through these kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.phy.ldpc import LdpcCode
+from repro.phy.modulation import Modulation, demodulate_llr, modulate
+
+__all__ = [
+    "demodulate_llr_batch",
+    "ldpc_encode_batch",
+    "ldpc_syndrome_ok_batch",
+    "modulate_batch",
+]
+
+
+def _groups_by_modulation(
+    modulations: Sequence[Modulation],
+) -> Dict[Modulation, List[int]]:
+    """Input indices grouped by modulation, preserving input order."""
+    groups: Dict[Modulation, List[int]] = {}
+    for index, modulation in enumerate(modulations):
+        groups.setdefault(modulation, []).append(index)
+    return groups
+
+
+def modulate_batch(
+    bit_blocks: Sequence[np.ndarray],
+    modulations: Sequence[Modulation],
+) -> List[np.ndarray]:
+    """Map every block's bits to symbols; one kernel call per modulation.
+
+    Identical to ``[modulate(bits, mod) for ...]``: blocks sharing a
+    modulation are concatenated (each block's bit count is already a
+    multiple of bits-per-symbol, so symbol boundaries survive the
+    concatenation), modulated in one call, and split back.
+    """
+    if len(bit_blocks) != len(modulations):
+        raise ValueError("one modulation per bit block required")
+    out: List[np.ndarray] = [np.empty(0)] * len(bit_blocks)
+    for modulation, indices in _groups_by_modulation(modulations).items():
+        blocks = [np.asarray(bit_blocks[i], dtype=np.uint8) for i in indices]
+        symbols = modulate(np.concatenate(blocks), modulation)
+        bps = modulation.bits_per_symbol
+        bounds = np.cumsum([len(block) // bps for block in blocks])[:-1]
+        for index, chunk in zip(indices, np.split(symbols, bounds)):
+            out[index] = chunk
+    return out
+
+
+def demodulate_llr_batch(
+    symbol_blocks: Sequence[np.ndarray],
+    modulations: Sequence[Modulation],
+    noise_vars: Sequence[float],
+) -> List[np.ndarray]:
+    """Soft-demodulate every block; one kernel call per modulation group.
+
+    Identical to ``[demodulate_llr(sym, mod, nv) for ...]``. Blocks in a
+    group may carry different noise variances: the divisions happen
+    against a per-symbol noise vector holding each block's value, which
+    is elementwise the same arithmetic the per-block call performs.
+    """
+    if not (len(symbol_blocks) == len(modulations) == len(noise_vars)):
+        raise ValueError("blocks, modulations, and noise_vars must align")
+    out: List[np.ndarray] = [np.empty(0)] * len(symbol_blocks)
+    for modulation, indices in _groups_by_modulation(modulations).items():
+        if len(indices) == 1:
+            index = indices[0]
+            out[index] = demodulate_llr(
+                symbol_blocks[index], modulation, noise_vars[index]
+            )
+            continue
+        blocks = [
+            np.asarray(symbol_blocks[i], dtype=np.complex128) for i in indices
+        ]
+        counts = [len(block) for block in blocks]
+        stacked = np.concatenate(blocks)
+        per_symbol_nv = np.repeat(
+            [max(noise_vars[i], 1e-12) for i in indices], counts
+        )
+        llrs = _demodulate_with_noise_vector(stacked, modulation, per_symbol_nv)
+        bps = modulation.bits_per_symbol
+        bounds = np.cumsum([count * bps for count in counts])[:-1]
+        for index, chunk in zip(indices, np.split(llrs, bounds)):
+            out[index] = chunk
+    return out
+
+
+def _demodulate_with_noise_vector(
+    symbols: np.ndarray, modulation: Modulation, noise_var: np.ndarray
+) -> np.ndarray:
+    """``demodulate_llr`` generalized to a per-symbol noise vector.
+
+    Mirrors :func:`repro.phy.modulation.demodulate_llr` operation for
+    operation (same expressions, same order) so each element matches the
+    scalar-noise call bit for bit.
+    """
+    from repro.phy.modulation import _NORMS, _PAM_LEVELS, _pam_llrs
+
+    norm = _NORMS[modulation]
+    if modulation is Modulation.BPSK:
+        return 4.0 * symbols.real / (norm * noise_var) * norm ** 0
+    axis_bits = modulation.bits_per_symbol // 2
+    levels = _PAM_LEVELS[modulation] / norm
+    axis_noise = noise_var / 2.0
+    i_llrs = _pam_llrs(symbols.real, axis_bits, levels, 2.0 * axis_noise)
+    q_llrs = _pam_llrs(symbols.imag, axis_bits, levels, 2.0 * axis_noise)
+    interleaved = np.concatenate([i_llrs, q_llrs], axis=1)
+    return interleaved.reshape(-1)
+
+
+def ldpc_encode_batch(code: LdpcCode, info_blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """Systematically encode a batch of info-bit blocks in one matmul.
+
+    Returns a ``(B, n)`` uint8 codeword matrix; row ``i`` is identical
+    to ``code.encode(info_blocks[i])`` (the parity generator matmul and
+    mod-2 reduction are the same integer arithmetic, batched).
+    """
+    info = np.stack([np.asarray(block, dtype=np.uint8) for block in info_blocks])
+    if info.shape[1] != code.k:
+        raise ValueError(f"expected {code.k} info bits, got {info.shape[1]}")
+    parity = (code._parity_gen @ info.T) % 2
+    codewords = np.zeros((len(info), code.n), dtype=np.uint8)
+    codewords[:, code._info_cols] = info
+    codewords[:, code._parity_cols] = parity.T
+    return codewords
+
+
+def ldpc_syndrome_ok_batch(code: LdpcCode, hard_blocks: np.ndarray) -> np.ndarray:
+    """Per-row parity verdicts for a ``(B, n)`` hard-bit matrix.
+
+    Row ``i`` is True iff ``code.syndrome_ok(hard_blocks[i])``.
+    """
+    hard = np.asarray(hard_blocks, dtype=np.uint8)
+    return ~(((code._h @ hard.T) % 2).any(axis=0))

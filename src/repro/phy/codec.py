@@ -21,12 +21,13 @@ noise variance plus estimation error), and that measurement feeds the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.phy.batch import ldpc_encode_batch, modulate_batch
 from repro.phy.channel import AwgnChannel, ChannelRealization
-from repro.phy.crc import CRC24_BITS, attach_crc, check_crc
+from repro.phy.crc import CRC24_BITS, attach_crc, attach_crc_batch, check_crc
 from repro.phy.harq import HarqProcessPool
 from repro.phy.ldpc import LdpcCode, get_code
 from repro.phy.modulation import Modulation, demodulate_llr, modulate
@@ -102,6 +103,32 @@ class PhyCodec:
             codeword = np.concatenate([codeword, np.zeros(pad, dtype=np.uint8)])
         return modulate(codeword, block.modulation)
 
+    def encode_blocks(
+        self, blocks: Sequence[TransportBlock]
+    ) -> List[np.ndarray]:
+        """Batched :meth:`encode_block` over a slot's transport blocks.
+
+        One CRC gather, one LDPC matmul, and one modulation-map call per
+        modulation order cover the whole batch; element ``i`` is
+        bit-identical to ``encode_block(blocks[i])`` (the batch kernels
+        in :mod:`repro.phy.batch` are pinned to the per-block paths).
+        RNG-free, like :meth:`encode_block`, so callers may hoist it out
+        of any per-block loop that draws channel noise without
+        perturbing stream order.
+        """
+        if not blocks:
+            return []
+        payloads = [self.representative_bits(block) for block in blocks]
+        with_crc = attach_crc_batch(payloads)
+        codewords = ldpc_encode_batch(self.code, with_crc)
+        bit_blocks: List[np.ndarray] = []
+        for row, block in zip(codewords, blocks):
+            pad = (-len(row)) % block.modulation.bits_per_symbol
+            if pad:
+                row = np.concatenate([row, np.zeros(pad, dtype=np.uint8)])
+            bit_blocks.append(row)
+        return modulate_batch(bit_blocks, [b.modulation for b in blocks])
+
     # ------------------------------------------------------------------
     # Receive side
     # ------------------------------------------------------------------
@@ -113,9 +140,16 @@ class PhyCodec:
         self,
         block: TransportBlock,
         realization: ChannelRealization,
+        symbols: Optional[np.ndarray] = None,
     ) -> DecodeOutcome:
-        """Run the full receive chain for one transmission of a block."""
-        symbols = self.encode_block(block)
+        """Run the full receive chain for one transmission of a block.
+
+        ``symbols`` lets a caller supply the transmitted symbols it
+        already produced via :meth:`encode_blocks`; omitted, they are
+        re-encoded here (identical either way — encoding is RNG-free).
+        """
+        if symbols is None:
+            symbols = self.encode_block(block)
         received = self.channel.apply(symbols, realization)
         llrs = demodulate_llr(received, block.modulation, realization.noise_var)
         llrs = llrs[: self.code.n]

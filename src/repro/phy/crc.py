@@ -4,9 +4,26 @@
 (3GPP TS 38.212 uses the CRC24A polynomial for this). The CRC is what lets
 the PHY declare a decode success/failure — the signal the whole HARQ
 machinery, and therefore Slingshot's state-discarding argument, hinges on.
+
+Two implementations live here, per the repo's optimization convention:
+
+* :func:`crc24a_reference` is the normative byte-at-a-time register loop
+  (bit-serial for non-byte-multiple lengths), kept unoptimized;
+* :func:`crc24a` / :func:`crc24a_batch` are the vectorized fast paths,
+  fuzz-pinned identical to the reference (``tests/test_phy_crc.py``).
+
+The vectorization rests on GF(2) linearity: the register recurrence
+``r' = (r << 8) ^ TABLE[(r >> 16) ^ byte]`` splits into
+``advance(r) ^ TABLE[byte]`` because ``TABLE`` is itself linear
+(``TABLE[a ^ b] = TABLE[a] ^ TABLE[b]``), so the CRC of a message is
+the XOR of one precomputed per-position contribution per byte — a
+single gather + XOR-reduction instead of a Python loop, and across a
+whole batch of transport blocks at once.
 """
 
 from __future__ import annotations
+
+from typing import List, Sequence
 
 import numpy as np
 
@@ -17,38 +34,69 @@ CRC24A_POLY = 0x1864CFB
 #: Number of CRC bits appended.
 CRC24_BITS = 24
 
-# Precomputed byte-at-a-time table for speed.
-_TABLE = np.zeros(256, dtype=np.uint32)
-for _byte in range(256):
-    _reg = _byte << 16
+
+def _build_table() -> np.ndarray:
+    """Byte-at-a-time CRC table, built with vectorized numpy bit ops.
+
+    All 256 registers step through the 8 shift-and-conditional-XOR
+    rounds together; identical to the scalar double loop it replaced.
+    """
+    registers = (np.arange(256, dtype=np.uint32)) << np.uint32(16)
+    poly = np.uint32(CRC24A_POLY)
     for _ in range(8):
-        _reg <<= 1
-        if _reg & 0x1000000:
-            _reg ^= CRC24A_POLY
-    _TABLE[_byte] = _reg & 0xFFFFFF
+        registers = registers << np.uint32(1)
+        registers ^= ((registers >> np.uint32(24)) & np.uint32(1)) * poly
+    return registers & np.uint32(0xFFFFFF)
+
+
+# Precomputed byte-at-a-time table for speed.
+_TABLE = _build_table()
+
+#: Per-position contribution tables, grown on demand: row ``p`` maps a
+#: byte value to its contribution to the final CRC when it sits ``p``
+#: bytes from the *end* of the message. Row 0 is ``_TABLE`` itself; row
+#: ``p`` is row ``p - 1`` advanced by one zero byte. Deterministic by
+#: construction, so fork workers inheriting a grown cache stay exact.
+_POSITION_TABLES = _TABLE[np.newaxis, :].copy()
+
+
+def _position_tables(length: int) -> np.ndarray:
+    """At least ``length`` rows of per-position contribution tables."""
+    global _POSITION_TABLES
+    grown = _POSITION_TABLES
+    if len(grown) < length:
+        rows: List[np.ndarray] = [row for row in grown]
+        current = grown[-1]
+        while len(rows) < length:
+            # advance-by-one-zero-byte, vectorized over all 256 entries.
+            current = (
+                (current << np.uint32(8)) ^ _TABLE[current >> np.uint32(16)]
+            ) & np.uint32(0xFFFFFF)
+            rows.append(current)
+        _POSITION_TABLES = grown = np.stack(rows)
+    return grown
 
 
 def _bits_to_bytes_padded(bits: np.ndarray) -> np.ndarray:
-    """Pack a bit array (MSB-first) into bytes, zero-padding the tail."""
-    pad = (-len(bits)) % 8
-    if pad:
-        bits = np.concatenate([bits, np.zeros(pad, dtype=bits.dtype)])
+    """Pack a bit array (MSB-first) into bytes, zero-padding the tail.
+
+    Pure numpy: ``packbits`` zero-pads the final partial byte itself,
+    which is exactly what the old explicit concatenate-then-pack did.
+    """
     return np.packbits(bits.astype(np.uint8))
 
 
-def crc24a(bits: np.ndarray) -> int:
-    """Compute the CRC24A of a bit array (MSB-first bit order).
+def _crc_bytes_serial(data: Sequence[int]) -> int:
+    """Normative byte-at-a-time register loop."""
+    register = 0
+    for byte in data:
+        index = ((register >> 16) ^ int(byte)) & 0xFF
+        register = ((register << 8) ^ int(_TABLE[index])) & 0xFFFFFF
+    return register
 
-    Bit arrays whose length is not a byte multiple are processed
-    bit-serially for exactness.
-    """
-    bits = np.asarray(bits, dtype=np.uint8)
-    if len(bits) % 8 == 0:
-        register = 0
-        for byte in _bits_to_bytes_padded(bits):
-            index = ((register >> 16) ^ int(byte)) & 0xFF
-            register = ((register << 8) ^ int(_TABLE[index])) & 0xFFFFFF
-        return register
+
+def _crc_bits_serial(bits: np.ndarray) -> int:
+    """Normative bit-serial loop for non-byte-multiple lengths."""
     register = 0
     for bit in bits:
         register ^= int(bit) << 23
@@ -59,15 +107,99 @@ def crc24a(bits: np.ndarray) -> int:
     return register
 
 
+def crc24a_reference(bits: np.ndarray) -> int:
+    """Normative CRC24A of a bit array (MSB-first bit order).
+
+    The pre-vectorization implementation, kept as the behaviour oracle:
+    byte-at-a-time for byte-multiple lengths, bit-serial otherwise.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if len(bits) % 8 == 0:
+        return _crc_bytes_serial(_bits_to_bytes_padded(bits))
+    return _crc_bits_serial(bits)
+
+
+def crc24a(bits: np.ndarray) -> int:
+    """Compute the CRC24A of a bit array (MSB-first bit order).
+
+    Vectorized fast path, fuzz-pinned identical to
+    :func:`crc24a_reference`: one per-position table gather plus an
+    XOR-reduction replaces the per-byte Python loop. Bit arrays whose
+    length is not a byte multiple are processed bit-serially for
+    exactness.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if len(bits) % 8 != 0:
+        return _crc_bits_serial(bits)
+    if len(bits) == 0:
+        return 0
+    data = np.packbits(bits)
+    tables = _position_tables(len(data))
+    contributions = tables[np.arange(len(data) - 1, -1, -1), data]
+    return int(np.bitwise_xor.reduce(contributions))
+
+
+def crc24a_batch(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """CRC24A of every bit-array block, vectorized across the batch.
+
+    Returns a ``uint32`` array of per-block CRCs, each identical to
+    ``crc24a(block)``. Byte-multiple blocks share one padded gather +
+    XOR-reduction; rare non-byte-multiple blocks fall back to the exact
+    bit-serial path.
+    """
+    crcs = np.zeros(len(blocks), dtype=np.uint32)
+    packed: List[np.ndarray] = []
+    packed_at: List[int] = []
+    for index, block in enumerate(blocks):
+        bits = np.asarray(block, dtype=np.uint8)
+        if len(bits) % 8 != 0:
+            crcs[index] = _crc_bits_serial(bits)
+        elif len(bits):
+            packed.append(np.packbits(bits))
+            packed_at.append(index)
+    if packed:
+        lengths = np.array([len(data) for data in packed])
+        width = int(lengths.max())
+        matrix = np.zeros((len(packed), width), dtype=np.uint8)
+        for row, data in enumerate(packed):
+            matrix[row, : len(data)] = data
+        # Byte j of a length-L block sits L-1-j bytes from the end.
+        positions = lengths[:, np.newaxis] - 1 - np.arange(width)[np.newaxis, :]
+        valid = positions >= 0
+        tables = _position_tables(width)
+        contributions = np.where(
+            valid, tables[positions.clip(min=0), matrix], np.uint32(0)
+        )
+        crcs[packed_at] = np.bitwise_xor.reduce(contributions, axis=1)
+    return crcs
+
+
+#: MSB-first bit weights for expanding a 24-bit CRC into bits.
+_CRC_SHIFTS = np.arange(CRC24_BITS - 1, -1, -1)
+
+
+def crc_bits(crc: int) -> np.ndarray:
+    """Expand a CRC value into its 24 bits, MSB first."""
+    return ((int(crc) >> _CRC_SHIFTS) & 1).astype(np.uint8)
+
+
 def attach_crc(payload_bits: np.ndarray) -> np.ndarray:
     """Append the 24 CRC bits (MSB-first) to a payload bit array."""
     payload_bits = np.asarray(payload_bits, dtype=np.uint8)
-    crc = crc24a(payload_bits)
-    crc_bits = np.array(
-        [(crc >> shift) & 1 for shift in range(CRC24_BITS - 1, -1, -1)],
-        dtype=np.uint8,
-    )
-    return np.concatenate([payload_bits, crc_bits])
+    return np.concatenate([payload_bits, crc_bits(crc24a(payload_bits))])
+
+
+def attach_crc_batch(payloads: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Append CRC bits to every payload; batch-equivalent of
+    :func:`attach_crc` (one CRC kernel call for the whole batch)."""
+    crcs = crc24a_batch(payloads)
+    all_crc_bits = (
+        (crcs[:, np.newaxis] >> _CRC_SHIFTS[np.newaxis, :]) & 1
+    ).astype(np.uint8)
+    return [
+        np.concatenate([np.asarray(payload, dtype=np.uint8), bits])
+        for payload, bits in zip(payloads, all_crc_bits)
+    ]
 
 
 def check_crc(block_bits: np.ndarray) -> bool:

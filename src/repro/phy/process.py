@@ -513,8 +513,20 @@ class PhyProcess(Process):
             return
         crc_results: List[CrcResult] = []
         rx_payloads: List[Tuple[int, int, int, bytes]] = []
-        for pdu in ul_pdus:
-            capture = cell.captures.pop((abs_slot, pdu.ue_id), None)
+        # Pop every capture up front (same pop order as the old per-pdu
+        # loop) and batch-encode the captured blocks in one pass — the
+        # encode stage is RNG-free, so hoisting it leaves the channel /
+        # measurement RNG draw order, and hence every digest, untouched.
+        captured = [
+            (pdu, cell.captures.pop((abs_slot, pdu.ue_id), None))
+            for pdu in ul_pdus
+        ]
+        encoded = iter(
+            self.codec.encode_blocks(
+                [capture.block for _, capture in captured if capture is not None]
+            )
+        )
+        for pdu, capture in captured:
             if capture is None:
                 # Nothing arrived on the fronthaul for this allocation
                 # (lost packets or UE never got the grant): the PHY
@@ -544,7 +556,9 @@ class PhyProcess(Process):
                         snr_db=realization.snr_db + gain
                     )
                     self.beamforming.on_sounding(pdu.ue_id, abs_slot)
-                outcome = self.codec.decode_block(capture.block, realization)
+                outcome = self.codec.decode_block(
+                    capture.block, realization, symbols=next(encoded)
+                )
                 self.snr_filter.update(pdu.ue_id, outcome.measured_snr_db)
             self.cpu.fec_decodes += 1
             crc_results.append(

@@ -1,0 +1,199 @@
+"""Shard-runner tests: determinism, ordered flush, failure surfacing,
+and serial-vs-parallel bit-equality of the drivers that use it.
+
+The contract under test (see :mod:`repro.parallel.pool`): at any
+``--jobs`` value the merged results, the streamed progress order, and
+every canonical-trace digest are identical to a serial run; worker
+failures surface with the shard key instead of hanging the sweep.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import (
+    ShardCrash,
+    ShardError,
+    available_parallelism,
+    run_shards,
+)
+from repro.parallel.pool import fork_available, measured_parallelism
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="no fork start method on this platform"
+)
+
+
+# ----------------------------------------------------------------------
+# Top-level workers (must be picklable for the pool tests)
+# ----------------------------------------------------------------------
+def _double(payload):
+    return payload * 2
+
+
+def _sleep_inverse(payload):
+    """Later shards finish first, forcing out-of-order completion."""
+    index, count = payload
+    time.sleep(0.05 * (count - index))
+    return index
+
+
+def _fail_on_two(payload):
+    if payload == 2:
+        raise ValueError("boom")
+    return payload
+
+
+def _exit_on_two(payload):
+    if payload == 2:
+        os._exit(13)
+    return payload
+
+
+class TestRunShardsSerial:
+    def test_results_in_canonical_order(self):
+        outcome = run_shards(_double, [(("k", i), i) for i in range(5)], jobs=1)
+        assert outcome.mode == "serial"
+        assert outcome.values() == [0, 2, 4, 6, 8]
+        assert outcome.keys == [("k", i) for i in range(5)]
+
+    def test_worker_exception_raises_shard_error_with_key(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_shards(_fail_on_two, [(i, i) for i in range(4)], jobs=1)
+        assert excinfo.value.key == 2
+        assert "ValueError" in excinfo.value.traceback_text
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_shards(_double, [("a", 1), ("a", 2)], jobs=1)
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_shards(_double, [("a", 1)], jobs=0)
+
+    def test_accounting_shape(self):
+        outcome = run_shards(_double, [(i, i) for i in range(3)], jobs=1)
+        accounting = outcome.accounting()
+        assert accounting["shards"] == 3
+        assert accounting["mode"] == "serial"
+        assert len(accounting["per_shard"]) == 3
+        assert accounting["wall_seconds"] >= 0
+        for stat in accounting["per_shard"]:
+            assert {"key", "wall_seconds", "peak_rss_kb", "pid"} <= set(stat)
+
+    def test_probe_and_cpu_count_sane(self):
+        assert available_parallelism() >= 1
+        assert measured_parallelism(1) == 1.0
+
+
+@needs_fork
+class TestRunShardsPool:
+    def test_results_and_progress_in_canonical_order(self):
+        count = 6
+        streamed = []
+        outcome = run_shards(
+            _sleep_inverse,
+            [((("s", i)), (i, count)) for i in range(count)],
+            jobs=4,
+            progress=lambda key, value: streamed.append(key),
+        )
+        assert outcome.mode == "fork"
+        assert outcome.effective_jobs == 4
+        # Later shards completed first, yet both the merged values and
+        # the streamed keys come back in submission order.
+        assert outcome.values() == list(range(count))
+        assert streamed == [("s", i) for i in range(count)]
+
+    def test_worker_exception_surfaces_key_without_hanging(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_shards(_fail_on_two, [(i, i) for i in range(4)], jobs=2)
+        assert excinfo.value.key == 2
+
+    def test_hard_worker_death_surfaces_candidates_without_hanging(self):
+        with pytest.raises(ShardCrash) as excinfo:
+            run_shards(_exit_on_two, [(("c", i), i) for i in range(4)], jobs=2)
+        # The crashed shard is among the unfinished candidates, in
+        # canonical order.
+        assert ("c", 2) in excinfo.value.candidate_keys
+        assert excinfo.value.candidate_keys == sorted(
+            excinfo.value.candidate_keys
+        )
+
+    def test_single_shard_falls_back_to_serial(self):
+        outcome = run_shards(_double, [("only", 21)], jobs=8)
+        assert outcome.mode == "serial"
+        assert outcome.values() == [42]
+
+
+class TestChaosJobsSmoke:
+    def test_chaos_cli_jobs_two_on_scenario_subset(self, capsys):
+        """Tier-1 smoke: `python -m repro chaos --jobs 2` on a 2-scenario
+        subset must pass and stream one line per run."""
+        from repro.faults.campaign import main as chaos_main
+
+        exit_code = chaos_main(
+            [
+                "--scenario", "cmd_drop",
+                "--scenario", "crash_restart",
+                "--seeds", "1",
+                "--no-replay",
+                "--jobs", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0, f"chaos smoke failed:\n{output}"
+        assert "cmd_drop" in output and "crash_restart" in output
+        assert "2 runs, 0 failed" in output
+
+
+@pytest.mark.slow
+class TestSerialParallelEquality:
+    def test_standard_campaign_digests_identical_across_jobs(self):
+        """The full standard chaos campaign produces a bit-identical
+        deterministic report (every digest included) at jobs 1, 2, 4."""
+        from repro.faults.campaign import run_campaign
+
+        reports = {
+            jobs: run_campaign(replay=False, jobs=jobs) for jobs in (1, 2, 4)
+        }
+        serial = reports[1].as_dict()
+        assert serial["runs_total"] > 0 and serial["passed"]
+        assert reports[2].as_dict() == serial
+        assert reports[4].as_dict() == serial
+        # The execution accounting (excluded from as_dict) did record
+        # the fan-out.
+        assert reports[4].execution["jobs"] == 4
+
+    def test_perf_macro_digests_identical_across_jobs(self):
+        """Macro perf scenarios fan out under --jobs with unchanged
+        digests (timings are per-worker; only accounting differs)."""
+        from repro.perf.harness import run_benchmarks
+
+        names = ["macro_fig9", "macro_chaos_crash_restart"]
+        digests = {}
+        for jobs in (1, 2, 4):
+            report = run_benchmarks(
+                names=names, quick=True, profile=False, jobs=jobs
+            )
+            digests[jobs] = {
+                name: report.results[name].digest for name in names
+            }
+            if jobs > 1:
+                assert report.execution is not None
+                assert report.execution["shards"] == len(names)
+        assert digests[2] == digests[1]
+        assert digests[4] == digests[1]
+
+    def test_experiment_sweeps_identical_across_jobs(self):
+        """sec52/sec82 trial sweeps return equal results at any jobs
+        value (kill offsets are pre-drawn in serial order)."""
+        from repro.experiments import sec52_detector, sec82_dropped_ttis
+
+        serial = sec52_detector.run(trials=2, healthy_seconds=0.5, jobs=1)
+        pooled = sec52_detector.run(trials=2, healthy_seconds=0.5, jobs=2)
+        assert pooled == serial
+
+        serial82 = sec82_dropped_ttis.run(trials=2, jobs=1)
+        pooled82 = sec82_dropped_ttis.run(trials=2, jobs=2)
+        assert pooled82 == serial82

@@ -10,10 +10,12 @@ to event execution, and — marked slow — the tier-1 smoke: a real
 import pytest
 
 from repro.perf.harness import (
+    MIN_PARALLEL_SPEEDUP,
     BenchmarkResult,
     PerfReport,
     check_report,
     load_report,
+    parallel_speedup_gate,
     run_benchmarks,
 )
 from repro.perf.runner import default_bench_path
@@ -102,6 +104,61 @@ class TestCheckReport:
     def test_unknown_benchmark_name_rejected(self):
         with pytest.raises(KeyError):
             run_benchmarks(names=["no_such_benchmark"], quick=True)
+
+    def test_phy_batch_speedup_gate(self):
+        current = PerfReport(quick=False, speedups={"phy_slot_batch": 1.0})
+        failures = check_report(current, PerfReport(quick=False))
+        assert any("speedup[phy_slot_batch]" in f for f in failures)
+        # 1.10x clears the relaxed --quick gate but not the full one.
+        assert check_report(
+            PerfReport(quick=True, speedups={"phy_slot_batch": 1.10}),
+            PerfReport(quick=True),
+        ) == []
+
+    def test_parallel_speedup_gate_scales_with_probe(self):
+        # Real >= 3x parallel capacity demands the full 1.8x.
+        assert parallel_speedup_gate(4.0) == MIN_PARALLEL_SPEEDUP
+        assert parallel_speedup_gate(3.0) == MIN_PARALLEL_SPEEDUP
+        # Throttled machines get roughly half the probe...
+        assert parallel_speedup_gate(2.0) == pytest.approx(1.0)
+        # ...but never less than the no-catastrophic-slowdown floor.
+        assert parallel_speedup_gate(0.5) == pytest.approx(0.4)
+        assert parallel_speedup_gate(0.0) == pytest.approx(0.4)
+
+    def test_parallel_campaign_gate_uses_probe_from_extra(self):
+        parallel = _result("campaign_shards_parallel", kind="macro")
+        parallel.extra = {"measured_parallelism": 4.0}
+        current = PerfReport(
+            quick=False,
+            results={"campaign_shards_parallel": parallel},
+            speedups={"parallel_campaign": 1.5},
+        )
+        failures = check_report(current, PerfReport(quick=False))
+        assert any("speedup[parallel_campaign]" in f for f in failures)
+        # On a throttled machine the same 1.5x clears the scaled gate.
+        parallel.extra = {"measured_parallelism": 1.2}
+        assert check_report(current, PerfReport(quick=False)) == []
+
+    def test_parallel_campaign_gate_absent_without_result(self):
+        # Speedup recorded but the parallel leg wasn't run this time:
+        # no probe, no gate.
+        current = PerfReport(quick=False, speedups={"parallel_campaign": 0.1})
+        assert check_report(current, PerfReport(quick=False)) == []
+
+    def test_execution_accounting_round_trips(self, tmp_path):
+        report = PerfReport(
+            quick=True,
+            results={"a": _result("a")},
+            execution={"jobs": 4, "shards": 2, "parallel_speedup": 1.3},
+        )
+        path = tmp_path / "bench.json"
+        report.write(path)
+        loaded = load_report(path)
+        assert loaded.execution == {
+            "jobs": 4, "shards": 2, "parallel_speedup": 1.3,
+        }
+        # Execution accounting is machine fact, never a gate input.
+        assert check_report(loaded, report) == []
 
 
 class TestPopSampler:

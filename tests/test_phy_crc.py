@@ -5,7 +5,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.phy.crc import CRC24_BITS, attach_crc, check_crc, crc24a
+from repro.phy.crc import (
+    CRC24_BITS,
+    attach_crc,
+    attach_crc_batch,
+    check_crc,
+    crc24a,
+    crc24a_batch,
+    crc24a_reference,
+)
 
 
 class TestCrcBasics:
@@ -89,3 +97,53 @@ class TestCrcProperties:
     def test_non_byte_aligned_lengths(self, bit_list):
         bits = np.array(bit_list, dtype=np.uint8)
         assert check_crc(attach_crc(bits))
+
+
+class TestCrcFuzzPins:
+    """The vectorized fast paths pinned to the bit-serial reference.
+
+    ``crc24a_reference`` is the normative implementation; ``crc24a``
+    (single-block gather) and ``crc24a_batch`` (padded matrix) must match
+    it exactly on every input. The corpus is ~1k random blocks spanning
+    lengths 0..4096 from a reserved ``perf.*`` RngRegistry stream.
+    """
+
+    def _corpus(self):
+        from repro.perf.benchmarks import CORPUS_SEED
+        from repro.sim.rng import RngRegistry
+
+        rng = RngRegistry(CORPUS_SEED).stream("perf.crc_fuzz")
+        return [
+            rng.integers(0, 2, size=int(rng.integers(0, 4097)), dtype=np.uint8)
+            for _ in range(1000)
+        ]
+
+    def test_fast_and_batch_pin_to_reference(self):
+        blocks = self._corpus()
+        references = np.array(
+            [crc24a_reference(block) for block in blocks], dtype=np.int64
+        )
+        scalars = np.array([crc24a(block) for block in blocks], dtype=np.int64)
+        batch = crc24a_batch(blocks).astype(np.int64)
+        assert np.array_equal(scalars, references)
+        assert np.array_equal(batch, references)
+
+    def test_attach_batch_roundtrip(self):
+        blocks = self._corpus()[:200]
+        attached = attach_crc_batch(blocks)
+        for payload, block in zip(blocks, attached):
+            assert len(block) == len(payload) + CRC24_BITS
+            assert np.array_equal(block, attach_crc(payload))
+            assert check_crc(block)
+
+    def test_batch_of_empty_and_edge_lengths(self):
+        edges = [
+            np.zeros(0, dtype=np.uint8),
+            np.ones(1, dtype=np.uint8),
+            np.zeros(7, dtype=np.uint8),
+            np.ones(8, dtype=np.uint8),
+            np.ones(4096, dtype=np.uint8),
+        ]
+        batch = crc24a_batch(edges).astype(np.int64)
+        for value, block in zip(batch, edges):
+            assert int(value) == crc24a_reference(block) == crc24a(block)

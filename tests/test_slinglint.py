@@ -291,6 +291,69 @@ class TestP4BudgetRules:
         assert summary.max_accesses("reg") == 3
 
 
+class TestParallelRules:
+    POOL_PATH = "src/repro/parallel/pool.py"
+
+    def test_par001_module_level_mutable_state_in_parallel(self):
+        assert "PAR001" in rule_ids(lint("_CACHE = {}\n", path=self.POOL_PATH))
+        assert "PAR001" in rule_ids(
+            lint("_SEEN: list = []\n", path=self.POOL_PATH)
+        )
+        assert "PAR001" in rule_ids(
+            lint(
+                "from collections import defaultdict\n"
+                "_BY_KEY = defaultdict(list)\n",
+                path=self.POOL_PATH,
+            )
+        )
+
+    def test_par001_global_statement_in_parallel(self):
+        source = (
+            "_COUNT = 0\n"
+            "def bump():\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+        )
+        assert "PAR001" in rule_ids(lint(source, path=self.POOL_PATH))
+
+    def test_par001_immutable_module_constants_allowed(self):
+        source = "NAMES = ('a', 'b')\nLIMIT = 4\n__all__ = ['run_shards']\n"
+        assert "PAR001" not in rule_ids(lint(source, path=self.POOL_PATH))
+
+    def test_par001_rng_in_shard_worker_anywhere(self):
+        source = (
+            "import numpy as np\n"
+            "def run_sweep_shard(payload):\n"
+            "    rng = np.random.default_rng(payload)\n"
+            "    return rng.integers(0, 2)\n"
+        )
+        findings = lint(source, path="src/repro/experiments/sweep.py")
+        assert "PAR001" in rule_ids(findings)
+
+    def test_par001_registry_stream_in_shard_worker_clean(self):
+        source = (
+            "from repro.sim.rng import RngRegistry\n"
+            "def run_sweep_shard(payload):\n"
+            "    rng = RngRegistry(payload).stream('sweep')\n"
+            "    return int(rng.integers(0, 2))\n"
+        )
+        findings = lint(source, path="src/repro/experiments/sweep.py")
+        assert "PAR001" not in rule_ids(findings)
+
+    def test_par001_rng_outside_shard_scope_not_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "def helper(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        findings = lint(source, path="src/repro/experiments/sweep.py")
+        assert "PAR001" not in rule_ids(findings)
+
+    def test_par001_suppression(self):
+        source = "_CACHE = {}  # slinglint: disable=PAR001\n"
+        assert "PAR001" not in rule_ids(lint(source, path=self.POOL_PATH))
+
+
 class TestFramework:
     def test_rule_ids_unique_and_titled(self):
         rules = all_rules()
