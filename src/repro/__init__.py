@@ -14,11 +14,11 @@ and EXPERIMENTS.md for paper-vs-measured results.
 
 Quickstart::
 
-    from repro import build_slingshot_cell, s_to_ns
+    from repro import build_slingshot_cell, run_for_ns, seconds
 
     cell = build_slingshot_cell()
-    cell.kill_phy_at(0, s_to_ns(2.0))   # SIGKILL the primary PHY at t=2s
-    cell.run_for(s_to_ns(4.0))
+    cell.kill_phy_at(0, seconds(2.0))   # SIGKILL the primary PHY at t=2s
+    run_for_ns(cell, seconds(4.0))
     print(cell.middlebox.stats)          # failover executed in-switch
 """
 
@@ -37,7 +37,18 @@ from repro.core import (
     MigrationController,
     PhySideOrion,
 )
-from repro.sim import Simulator, ms_to_ns, ns_to_ms, ns_to_s, ns_to_us, s_to_ns, us_to_ns
+from repro.sim import (
+    Simulator,
+    ms_to_ns,
+    ns_to_ms,
+    ns_to_s,
+    ns_to_us,
+    run_for_ns,
+    run_until_ns,
+    s_to_ns,
+    seconds,
+    us_to_ns,
+)
 
 __version__ = "1.0.0"
 
@@ -58,7 +69,10 @@ __all__ = [
     "ns_to_ms",
     "ns_to_s",
     "ns_to_us",
+    "run_for_ns",
+    "run_until_ns",
     "s_to_ns",
+    "seconds",
     "us_to_ns",
     "__version__",
 ]

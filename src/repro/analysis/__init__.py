@@ -17,6 +17,9 @@ The reproduction rests on invariants that used to live only in prose:
 * **Shard-worker purity** — ``repro/parallel`` holds no fork-divergent
   module state, and shard workers (``*_shard``) draw randomness only
   from seed-derived RngRegistry streams.
+* **Telemetry purity** — ``repro/telemetry`` records only deterministic
+  counts and integer sim-time values: no wall clocks, no randomness, no
+  RngRegistry stream acquisition (digest neutrality by construction).
 
 ``python -m repro lint`` runs every registered rule over ``src/repro``
 (or explicit paths) and exits non-zero on findings. Individual findings
@@ -37,6 +40,7 @@ from repro.analysis.runner import lint_paths, lint_source
 # Importing the rule modules registers their rules.
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import event_safety as _event_safety  # noqa: F401
+from repro.analysis import observability as _observability  # noqa: F401
 from repro.analysis import p4budget as _p4budget  # noqa: F401
 from repro.analysis import parallel_rules as _parallel_rules  # noqa: F401
 from repro.analysis import perf_rules as _perf_rules  # noqa: F401

@@ -1,0 +1,106 @@
+"""Observability rules (OBS0xx).
+
+The telemetry layer's whole value rests on digest neutrality: enabling
+it must not change a single canonical-trace byte, at any ``--jobs``
+value, on any machine. That holds only if telemetry records nothing but
+deterministic counts and simulated-time integers — so inside
+``src/repro/telemetry/`` there are no wall clocks (``time.*``) and no
+randomness (``random``, ``numpy.random``, or RngRegistry ``.stream()``
+acquisition, which would perturb every downstream draw). OBS001 turns
+that contract from prose into a lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
+
+#: Modules whose import anywhere in the telemetry package is banned.
+_BANNED_MODULES = ("time", "random", "numpy.random")
+
+
+def _banned_import(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    for banned in _BANNED_MODULES:
+        if name == banned or name.startswith(banned + "."):
+            return banned
+    return None
+
+
+@register_rule
+class TelemetryPurityRule(LintRule):
+    """OBS001: no wall clocks or randomness in the telemetry package.
+
+    Flags, inside ``repro/telemetry/``: imports of ``time``, ``random``,
+    or ``numpy.random``; calls through those modules; ``default_rng``
+    construction; and RngRegistry ``.stream()`` acquisition (telemetry
+    consuming a stream would shift every later draw and break digest
+    neutrality).
+    """
+
+    rule_id = "OBS001"
+    title = "wall clock / randomness in telemetry code"
+    severity = Severity.ERROR
+    fix_hint = (
+        "telemetry records only deterministic counts and integer sim-time "
+        "values; take timestamps from Simulator.now at the call site and "
+        "keep clocks/RNG out of repro/telemetry"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.module_parts or ctx.module_parts[0] != "telemetry":
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    banned = _banned_import(alias.name)
+                    if banned is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {banned} in telemetry code",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    banned = _banned_import(node.module)
+                    if banned is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import from {banned} in telemetry code",
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                banned = _banned_import(name) or _banned_import(
+                    name.rpartition(".")[0] or None
+                )
+                if name == "time" or name.startswith("time."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock call {name}() in telemetry code",
+                    )
+                elif banned is not None or name.startswith("random."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"randomness call {name}() in telemetry code",
+                    )
+                elif name.rpartition(".")[2] == "default_rng":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "RNG construction (default_rng) in telemetry code",
+                    )
+                elif name.rpartition(".")[2] == "stream" and "." in name:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"RNG stream acquisition {name}() in telemetry code",
+                    )

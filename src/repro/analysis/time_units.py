@@ -16,8 +16,12 @@ from repro.analysis.registry import LintContext, LintRule, dotted_name, register
 #: Methods whose first positional argument is a time/delay in ns.
 _SCHEDULING_METHODS = {"schedule", "at", "call_after", "run_until", "run_for"}
 
+#: Boundary helpers from :mod:`repro.sim.units` whose *second* positional
+#: argument is the time/duration in ns (the first is the run target).
+_BOUNDARY_HELPERS = {"run_for_ns": 1, "run_until_ns": 1}
+
 #: Conversions that legitimately produce integer ns from float input.
-_INT_PRODUCERS = {"int", "round", "s_to_ns", "ms_to_ns", "us_to_ns"}
+_INT_PRODUCERS = {"int", "round", "s_to_ns", "ms_to_ns", "us_to_ns", "seconds"}
 
 
 def _time_argument(node: ast.Call) -> Optional[ast.expr]:
@@ -26,6 +30,14 @@ def _time_argument(node: ast.Call) -> Optional[ast.expr]:
     if name is None:
         return None
     method = name.rpartition(".")[2]
+    if method in _BOUNDARY_HELPERS:
+        index = _BOUNDARY_HELPERS[method]
+        if len(node.args) > index:
+            return node.args[index]
+        for keyword in node.keywords:
+            if keyword.arg in ("duration_ns", "time_ns"):
+                return keyword.value
+        return None
     if method not in _SCHEDULING_METHODS:
         return None
     if node.args:
@@ -84,6 +96,80 @@ class FloatTimeRule(LintRule):
                     node,
                     f"float literal {literal.value!r} flows into "
                     f"{dotted_name(node.func)}()",
+                )
+
+
+#: Identifier suffixes conventionally denoting float seconds.
+_SECONDS_SUFFIXES = ("_s", "_secs", "_seconds")
+
+
+def _contains_seconds_name(node: ast.expr) -> Optional[str]:
+    """First seconds-suffixed identifier in the expression subtree,
+    skipping subtrees wrapped in an integer-producing conversion."""
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func is not None and func.rpartition(".")[2] in _INT_PRODUCERS:
+            return None
+        for arg in node.args:
+            found = _contains_seconds_name(arg)
+            if found is not None:
+                return found
+        for keyword in node.keywords:
+            found = _contains_seconds_name(keyword.value)
+            if found is not None:
+                return found
+        return None
+    name: Optional[str] = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None and any(
+        name.endswith(suffix) for suffix in _SECONDS_SUFFIXES
+    ):
+        return name
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            found = _contains_seconds_name(child)
+            if found is not None:
+                return found
+    return None
+
+
+@register_rule
+class SecondsAcrossBoundaryRule(LintRule):
+    """TIM003: float-seconds identifiers must not cross the engine boundary.
+
+    A variable named ``duration_s`` / ``timeout_secs`` / ``gap_seconds``
+    is, by this repo's convention, float seconds; passing it into a
+    scheduling call without an integer-producing conversion
+    (``seconds()``, ``s_to_ns()``, ``round()``, ...) hands the integer-ns
+    engine a float — the same bug class as TIM001, caught by name when
+    no literal is visible.
+    """
+
+    rule_id = "TIM003"
+    title = "float-seconds identifier crossing the engine boundary"
+    severity = Severity.ERROR
+    fix_hint = (
+        "wrap the value at the boundary: run_for_ns(cell, seconds(duration_s)) "
+        "or schedule(s_to_ns(delay_s), ...)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            arg = _time_argument(node)
+            if arg is None:
+                continue
+            name = _contains_seconds_name(arg)
+            if name is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"seconds-suffixed identifier {name!r} flows into "
+                    f"{dotted_name(node.func)}() without conversion",
                 )
 
 

@@ -11,12 +11,20 @@ Usage::
     python -m repro lint [paths...]
     python -m repro chaos [--scenario NAME ...] [--seeds 1 2 3] [--jobs N]
     python -m repro perf [--quick] [--check] [--jobs N]
+    python -m repro telemetry [--quick] [--check] [--jobs N]
 
-Each experiment command runs the corresponding harness from
-:mod:`repro.experiments` and prints its paper-style summary;
-``lint`` runs the :mod:`repro.analysis` static checks (slinglint);
-``chaos`` sweeps the :mod:`repro.faults` fault-injection matrix;
-``perf`` runs the :mod:`repro.perf` benchmark harness.
+Every experiment subcommand is derived from the
+:data:`repro.experiments.REGISTRY` — the registry entry supplies the
+description, the default/quick durations, and the mapping from parsed
+CLI arguments to ``run(...)`` parameters, so adding an experiment means
+registering a spec, not writing another shim. ``lint`` runs the
+:mod:`repro.analysis` static checks (slinglint); ``chaos`` sweeps the
+:mod:`repro.faults` fault-injection matrix; ``perf`` runs the
+:mod:`repro.perf` benchmark harness; ``telemetry`` runs instrumented
+failover scenarios (:mod:`repro.telemetry`).
+
+The former per-experiment ``_run_*`` functions are gone; their exact
+argument mappings live in each spec's ``cli_params``.
 """
 
 from __future__ import annotations
@@ -26,99 +34,35 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments import (
-    fig3_vm_migration,
-    fig8_video,
-    fig9_ping,
-    fig10_throughput,
-    fig11_upgrade,
-    fig12_orion_latency,
-    sec52_detector,
-    sec82_dropped_ttis,
-    sec85_overhead,
-    sec86_switch,
-    table2_stress,
-)
+from repro.experiments import REGISTRY, ExperimentSpec
+
+#: Harness verbs dispatched to their own sub-CLIs before experiment
+#: argument parsing (name -> lazy main import).
+_HARNESS_VERBS = ("lint", "chaos", "perf", "telemetry")
 
 
-def _run_fig3(args) -> str:
-    result = fig3_vm_migration.run(runs_per_transport=args.runs)
-    return fig3_vm_migration.summarize(result)
+def _registry_runner(spec: ExperimentSpec) -> Callable:
+    """CLI adapter: parsed+defaulted args -> run -> paper-style summary."""
 
+    def runner(args) -> str:
+        return spec.summarize(spec.run(**spec.cli_params(args)))
 
-def _run_fig8(args) -> str:
-    result = fig8_video.run(duration_s=args.duration, failure_at_s=args.failure_at)
-    return fig8_video.summarize(result)
-
-
-def _run_fig9(args) -> str:
-    result = fig9_ping.run(duration_s=args.duration, failure_at_s=args.failure_at)
-    return fig9_ping.summarize(result)
-
-
-def _run_fig10(args) -> str:
-    result = fig10_throughput.run(
-        duration_s=args.duration, event_at_s=args.failure_at
-    )
-    return fig10_throughput.summarize(result)
-
-
-def _run_fig11(args) -> str:
-    result = fig11_upgrade.run(
-        duration_s=args.duration, upgrade_at_s=args.duration / 2
-    )
-    return fig11_upgrade.summarize(result)
-
-
-def _run_fig12(args) -> str:
-    result = fig12_orion_latency.run(duration_s=min(args.duration, 2.0))
-    return fig12_orion_latency.summarize(result)
-
-
-def _run_table2(args) -> str:
-    result = table2_stress.run(rates_per_s=args.rates, duration_s=args.duration)
-    return table2_stress.summarize(result)
-
-
-def _run_sec52(args) -> str:
-    result = sec52_detector.run(trials=args.runs, jobs=args.jobs)
-    return sec52_detector.summarize(result)
-
-
-def _run_sec82(args) -> str:
-    result = sec82_dropped_ttis.run(trials=args.runs, jobs=args.jobs)
-    return sec82_dropped_ttis.summarize(result)
-
-
-def _run_sec85(args) -> str:
-    result = sec85_overhead.run(duration_s=min(args.duration, 5.0))
-    return sec85_overhead.summarize(result)
-
-
-def _run_sec86(args) -> str:
-    result = sec86_switch.run(gap_duration_s=min(args.duration, 5.0))
-    return sec86_switch.summarize(result)
+    return runner
 
 
 #: name -> (runner, description, default duration in seconds).
+#: Derived from the experiment registry; the tuple shape is public API
+#: (tests and docs index it), only its construction changed.
 EXPERIMENTS: Dict[str, Tuple[Callable, str, float]] = {
-    "fig3": (_run_fig3, "VM-migration pause-time CDF (baseline)", 0.0),
-    "fig8": (_run_fig8, "video conferencing through PHY failure", 12.0),
-    "fig9": (_run_fig9, "ping latency across failover (3 UEs)", 4.0),
-    "fig10": (_run_fig10, "TCP/UDP throughput through failover", 2.4),
-    "fig11": (_run_fig11, "zero-downtime live FEC upgrade", 10.0),
-    "fig12": (_run_fig12, "Orion added latency vs load", 1.0),
-    "table2": (_run_table2, "PHY-state-discard stress test", 60.0),
-    "sec52": (_run_sec52, "in-switch failure-detector microbench", 0.0),
-    "sec82": (_run_sec82, "dropped TTIs per resilience event", 0.0),
-    "sec85": (_run_sec85, "secondary-PHY (null FAPI) overhead", 3.0),
-    "sec86": (_run_sec86, "switch resources + inter-packet gap", 3.0),
+    spec.name: (_registry_runner(spec), spec.description, spec.default_duration_s)
+    for spec in REGISTRY.values()
 }
 
 #: Scaled-down durations for `--quick` / `all --quick`.
 QUICK_DURATION: Dict[str, float] = {
-    "fig8": 5.0, "fig9": 3.2, "fig10": 2.4, "fig11": 6.0,
-    "fig12": 0.5, "table2": 4.0, "sec85": 1.5, "sec86": 1.5,
+    spec.name: spec.quick_duration_s
+    for spec in REGISTRY.values()
+    if spec.quick_duration_s is not None
 }
 
 
@@ -173,25 +117,34 @@ def _wall_seconds() -> float:
     One of the two allowlisted wall-clock sites in the package — the
     other is :mod:`repro.perf.timing`, the benchmark harness's sanctioned
     clock. Simulation logic must use Simulator.now; DET001 enforces that,
-    and PERF001 funnels perf code through the timing helper.
+    PERF001 funnels perf code through the timing helper, and OBS001 bans
+    both clocks and RNG from the telemetry layer.
     """
     return time.time()  # slinglint: disable=DET001
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    raw_argv = list(sys.argv[1:] if argv is None else argv)
-    if raw_argv and raw_argv[0] == "lint":
+def _dispatch_harness(verb: str, argv: List[str]) -> int:
+    if verb == "lint":
         from repro.analysis import runner as lint_runner
 
-        return lint_runner.main(raw_argv[1:])
-    if raw_argv and raw_argv[0] == "chaos":
+        return lint_runner.main(argv)
+    if verb == "chaos":
         from repro.faults import campaign as chaos_campaign
 
-        return chaos_campaign.main(raw_argv[1:])
-    if raw_argv and raw_argv[0] == "perf":
+        return chaos_campaign.main(argv)
+    if verb == "perf":
         from repro.perf import runner as perf_runner
 
-        return perf_runner.main(raw_argv[1:])
+        return perf_runner.main(argv)
+    from repro.telemetry import runner as telemetry_runner
+
+    return telemetry_runner.main(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv and raw_argv[0] in _HARNESS_VERBS:
+        return _dispatch_harness(raw_argv[0], raw_argv[1:])
     args = build_parser().parse_args(raw_argv)
     if args.experiment == "list":
         print("available experiments:")
@@ -200,6 +153,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  lint    static-analysis pass over src/repro (slinglint)")
         print("  chaos   fault-injection campaign with recovery invariants")
         print("  perf    micro/macro benchmark harness with --check gate")
+        print("  telemetry  instrumented failover metrics + timelines")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

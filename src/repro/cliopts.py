@@ -1,0 +1,75 @@
+"""Shared option group for the harness CLI verbs.
+
+``repro chaos``, ``repro perf``, and ``repro telemetry`` all follow the
+same run-report-gate shape: run a deterministic workload, write a JSON
+report under ``benchmarks/``, and optionally ``--check`` it against the
+recorded baseline. Their common flags come from one argparse *parent
+parser* so the spelling, defaults, and help text cannot drift apart:
+
+``--out FILE`` (alias ``--bench``)
+    where to write the JSON report;
+``--check``
+    compare against the recorded baseline instead of (re)recording;
+``--jobs N``
+    worker processes for independent shards (0 = one per CPU core;
+    results are bit-identical at any value);
+``--quick``
+    reduced-scale run for smokes and CI gates.
+
+Each verb still owns its verb-specific flags (scenario selection,
+tolerance, profiling, ...) — the parent contributes only the shared
+group, via ``argparse.ArgumentParser(parents=[harness_options()])``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+
+def harness_options() -> argparse.ArgumentParser:
+    """The shared ``--out/--check/--jobs/--quick`` parent parser."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("harness options")
+    group.add_argument(
+        "--out",
+        "--bench",
+        dest="out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the JSON report to this file",
+    )
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the recorded baseline report",
+    )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent shards; 0 = one per CPU "
+        "core. Results are bit-identical at any value (default: 1)",
+    )
+    group.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale run (for smokes and CI gates)",
+    )
+    return parent
+
+
+def resolve_jobs(jobs: int, prog: str) -> Optional[int]:
+    """Validate/expand ``--jobs``: None means invalid (caller exits 2)."""
+    if jobs < 0:
+        print(f"{prog}: --jobs must be >= 0", file=sys.stderr)
+        return None
+    if jobs == 0:
+        from repro.parallel.pool import available_parallelism
+
+        return available_parallelism()
+    return jobs

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.p4.registers import RegisterArray
 from repro.sim.units import US
+from repro.telemetry.metrics import active as _telemetry_active
 
 
 @dataclass
@@ -84,6 +85,12 @@ class FailureDetector:
         #: PHYs already reported (suppress duplicate notifications).
         self._reported: Set[int] = set()
         self.stats = DetectorStats()
+        # Telemetry registry captured at construction; None keeps the
+        # data-plane paths to a single attribute test per packet.
+        self._metrics = _telemetry_active()
+        #: Last heartbeat sim-time per PHY, tracked only when telemetry
+        #: is enabled (feeds the detection-latency histogram).
+        self._last_heartbeat_ns: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Control interface (driven by Orion command packets)
@@ -109,11 +116,20 @@ class FailureDetector:
     # ------------------------------------------------------------------
     # Data-plane events
     # ------------------------------------------------------------------
-    def on_heartbeat(self, phy_id: int) -> None:
-        """A downlink packet from ``phy_id`` traversed the switch."""
+    def on_heartbeat(self, phy_id: int, now_ns: Optional[int] = None) -> None:
+        """A downlink packet from ``phy_id`` traversed the switch.
+
+        ``now_ns`` is optional metadata for telemetry (last-heartbeat
+        timestamps behind the detection-latency histogram); passing it
+        never changes detector behaviour.
+        """
         if 0 <= phy_id < self.counters.size:
             self.counters.write(phy_id, 0)
             self.stats.heartbeats_seen += 1
+            if self._metrics is not None:
+                self._metrics.counter("detector.heartbeat_resets").inc()
+                if now_ns is not None:
+                    self._last_heartbeat_ns[phy_id] = now_ns
 
     def on_timer_tick(self, now_ns: int) -> List[int]:
         """One timer-packet batch: increment all monitored counters.
@@ -122,6 +138,9 @@ class FailureDetector:
         ``notify`` callback).
         """
         self.stats.ticks_processed += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("detector.ticks").inc()
         detected: List[int] = []
         threshold = self.config.ticks_per_timeout
         for phy_id in self._monitored:
@@ -132,6 +151,13 @@ class FailureDetector:
                 self._reported.add(phy_id)
                 self.stats.failures_detected += 1
                 detected.append(phy_id)
+                if metrics is not None:
+                    metrics.counter("detector.saturations").inc()
+                    last = self._last_heartbeat_ns.get(phy_id)
+                    if last is not None:
+                        metrics.histogram(
+                            "detector.detection_latency_ns"
+                        ).observe(now_ns - last)
                 if self.notify is not None:
                     self.notify(phy_id, now_ns)
         return detected

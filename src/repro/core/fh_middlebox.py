@@ -52,6 +52,7 @@ from repro.net.packet import EtherType, EthernetFrame
 from repro.net.switch import ForwardingDecision, Switch
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry.metrics import active as _telemetry_active
 
 
 @dataclass
@@ -130,6 +131,9 @@ class FronthaulMiddlebox:
         #: Fallback static L2 table for non-fronthaul traffic.
         self.l2_table: Dict[MacAddress, int] = {}
         self.stats = MiddleboxStats()
+        # Telemetry registry captured at construction (None when
+        # disabled, keeping the per-packet paths to one attribute test).
+        self._metrics = _telemetry_active()
         #: Virtual PHY MAC each RU addresses (for documentation/testing;
         #: steering keys off the RU's source MAC, not this address).
         self.virtual_phy_mac = MacAddress(0x02_5A_5A_00_00_01)
@@ -240,6 +244,8 @@ class FronthaulMiddlebox:
             self.ru_to_phy.write(ru_id, dest)
             self.mig_valid.write(ru_id, 0)
             self.stats.migrations_executed += 1
+            if self._metrics is not None:
+                self._metrics.counter(f"mbox.ru{ru_id}.migrations").inc()
             if self.trace is not None:
                 self.trace.record(
                     self.sim.now,
@@ -262,6 +268,8 @@ class FronthaulMiddlebox:
             return ForwardingDecision.drop(frame)
         mac, port = target
         self.stats.ul_steered += 1
+        if self._metrics is not None:
+            self._metrics.counter(f"mbox.ru{ru_id}.ul_forwarded").inc()
         return ForwardingDecision([port], frame.copy_to(mac))
 
     def _process_downlink(self, frame: EthernetFrame, payload) -> ForwardingDecision:
@@ -271,12 +279,14 @@ class FronthaulMiddlebox:
             return ForwardingDecision.drop(frame)
         # Any downlink packet refreshes its sender's liveness counter,
         # including packets about to be filtered.
-        self.detector.on_heartbeat(src_phy)
+        self.detector.on_heartbeat(src_phy, self.sim.now)
         ru_id = payload.ru_id
         self._maybe_commit_migration(ru_id, payload.abs_slot)
         active = self._effective_phy(ru_id, payload.abs_slot)
         if src_phy != active:
             self.stats.dl_filtered += 1
+            if self._metrics is not None:
+                self._metrics.counter(f"mbox.ru{ru_id}.dl_filtered").inc()
             return ForwardingDecision.drop(frame)
         target = self.ru_port_directory.lookup(ru_id)
         if target is None:
@@ -284,6 +294,8 @@ class FronthaulMiddlebox:
             return ForwardingDecision.drop(frame)
         mac, port = target
         self.stats.dl_forwarded += 1
+        if self._metrics is not None:
+            self._metrics.counter(f"mbox.ru{ru_id}.dl_forwarded").inc()
         return ForwardingDecision([port], frame.copy_to(mac))
 
     # --- Slingshot commands ---------------------------------------------

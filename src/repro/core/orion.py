@@ -58,6 +58,7 @@ from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import US
+from repro.telemetry.metrics import active as _telemetry_active
 
 #: Ethernet + IP + UDP overhead on each inter-Orion datagram.
 UDP_OVERHEAD_BYTES = 46
@@ -235,6 +236,8 @@ class PhySideOrion(Process):
         #: Lead before slot start at which the watchdog injects.
         self.watchdog_lead_ns = 200_000
         self._watchdog_running = False
+        # Telemetry registry captured at construction (None = disabled).
+        self._metrics = _telemetry_active()
 
     # --- Network -> PHY -------------------------------------------------
     def receive_frame(self, frame: EthernetFrame, ingress: Link) -> None:
@@ -272,6 +275,10 @@ class PhySideOrion(Process):
             self.stats.repair_slots_dropped += dropped
         nulls = [make_null(message.cell_id, slot) for slot in missing]
         self.nulls_injected += len(nulls)
+        if self._metrics is not None and nulls:
+            self._metrics.counter(
+                f"orion.phy{self.phy_id}.nulls_injected"
+            ).inc(len(nulls))
         if self.trace is not None and nulls:
             self.trace.record(
                 self.now, "orion.loss_repaired",
@@ -310,6 +317,10 @@ class PhySideOrion(Process):
             for slot in range(last + 1, abs_slot + 1):
                 self.shm_to_phy.send(make_null(cell_id, slot))
                 self.nulls_injected += 1
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        f"orion.phy{self.phy_id}.nulls_injected"
+                    ).inc()
             self._last_tti_slot[(cell_id, kind)] = abs_slot
             if self.trace is not None:
                 self.trace.record(
@@ -369,6 +380,8 @@ class L2SideOrion(Process):
         self.cells: Dict[int, CellAssignment] = {}
         #: Callback fired when a failover completes (hook for experiments).
         self.on_failover: Optional[Callable[[int, int], None]] = None
+        # Telemetry registry captured at construction (None = disabled).
+        self._metrics = _telemetry_active()
 
     # ------------------------------------------------------------------
     # Wiring / cluster config
@@ -415,11 +428,15 @@ class L2SideOrion(Process):
         if isinstance(message, (UlTtiRequest, DlTtiRequest, TxDataRequest)):
             active, standby = self._roles_for_slot(assignment, message.slot)
             self._send_to_phy(active, message)
+            if self._metrics is not None:
+                self._metrics.counter("orion.fapi_real_requests").inc()
             if standby is not None:
                 null = self._null_counterpart(message)
                 if null is not None:
                     self._send_to_phy(standby, null)
                     self.stats.null_requests_sent += 1
+                    if self._metrics is not None:
+                        self._metrics.counter("orion.fapi_null_requests").inc()
             return
         # Other control messages follow the current primary.
         self._send_to_phy(assignment.primary_phy, message)
@@ -542,6 +559,8 @@ class L2SideOrion(Process):
             )
             return
         # Silence exceeded the threshold: the active PHY is gray-failed.
+        if self._metrics is not None:
+            self._metrics.counter("orion.watchdog_fires").inc()
         if self.trace is not None:
             self.trace.record(
                 self.now,
@@ -756,6 +775,10 @@ class L2SideOrion(Process):
         for command in commands:
             self._send_command(command)
         self.stats.commands_retransmitted += len(commands)
+        if self._metrics is not None:
+            self._metrics.counter("orion.commands_retransmitted").inc(
+                len(commands)
+            )
 
     def _send_command(self, command) -> None:
         """Send a Slingshot command packet into the switch."""

@@ -21,7 +21,7 @@ from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
 from repro.core.failure_detector import DetectorConfig
 from repro.experiments.sweep import sweep_trials
-from repro.sim.units import MS, SECOND, US, ns_to_us, s_to_ns
+from repro.sim.units import MS, SECOND, US, ns_to_us, run_for_ns, s_to_ns, seconds
 
 
 @dataclass
@@ -61,7 +61,7 @@ def _detection_trial_shard(
         )
     kill_at = s_to_ns(0.5) + offset_us * US
     cell.kill_phy_at(0, kill_at)
-    cell.run_for(s_to_ns(0.8))
+    run_for_ns(cell, seconds(0.8))
     detected = cell.trace.last("mbox.failure_detected")
     if detected is None:
         return None
@@ -97,7 +97,7 @@ def run(
     # False-positive check: a healthy cell must never trigger detection.
     config = CellConfig(seed=seed + 1000)
     healthy = build_slingshot_cell(config)
-    healthy.run_for(s_to_ns(healthy_seconds))
+    run_for_ns(healthy, seconds(healthy_seconds))
     false_positives = healthy.trace.count("mbox.failure_detected")
     return DetectorResult(
         detection_latencies_us=latencies,

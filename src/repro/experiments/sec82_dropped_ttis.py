@@ -18,7 +18,7 @@ from repro.baselines.vm_migration import PrecopyMigrationModel, TransportKind
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
 from repro.experiments.sweep import sweep_trials
-from repro.sim.units import US, s_to_ns
+from repro.sim.units import US, run_for_ns, seconds
 
 
 @dataclass
@@ -46,13 +46,13 @@ def _failover_trial_shard(payload: Tuple[int, int, int]) -> int:
         ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
     )
     cell = build_slingshot_cell(config)
-    cell.run_for(s_to_ns(0.5))
+    run_for_ns(cell, seconds(0.5))
     before = cell.ru.stats.slots_without_control
     # Kill at a random phase within a slot (worst case is near the
     # start of a slot, wasting most of the detector timeout).
     kill_at = cell.sim.now + offset_us * US
     cell.kill_phy_at(0, kill_at)
-    cell.run_for(s_to_ns(0.4))
+    run_for_ns(cell, seconds(0.4))
     return cell.ru.stats.slots_without_control - before
 
 
@@ -78,10 +78,10 @@ def run(trials: int = 6, seed: int = 0, jobs: int = 1) -> DroppedTtiResult:
         ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
     )
     cell = build_slingshot_cell(config)
-    cell.run_for(s_to_ns(0.5))
+    run_for_ns(cell, seconds(0.5))
     before = cell.ru.stats.slots_without_control
     cell.planned_migration(0)
-    cell.run_for(s_to_ns(0.4))
+    run_for_ns(cell, seconds(0.4))
     planned_dropped = cell.ru.stats.slots_without_control - before
     # VM migration: the median pause time expressed in TTIs.
     model = PrecopyMigrationModel(rng=np.random.default_rng(seed))

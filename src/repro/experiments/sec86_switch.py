@@ -15,7 +15,7 @@ Paper results:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
 from repro.net.p4.resources import PipelineResourceModel
 from repro.net.packet import EtherType
-from repro.sim.units import US, s_to_ns
+from repro.sim.units import US, run_for_ns, seconds
 
 
 @dataclass
@@ -55,19 +55,19 @@ def _measure_max_gap(busy: bool, duration_s: float, seed: int) -> float:
     detector = cell.middlebox.detector
     original = detector.on_heartbeat
 
-    def tap(phy_id: int) -> None:
+    def tap(phy_id: int, now_ns: Optional[int] = None) -> None:
         if phy_id == 0:
             timestamps.append(cell.sim.now)
-        original(phy_id)
+        original(phy_id, now_ns)
 
     detector.on_heartbeat = tap
     if busy:
         flow = UdpIperfDownlink(
             cell.sim, cell.server, cell.ue(1), "dl", bearer_id=1, bitrate_bps=60e6
         )
-        cell.run_for(s_to_ns(0.2))
+        run_for_ns(cell, seconds(0.2))
         flow.start()
-    cell.run_for(s_to_ns(duration_s))
+    run_for_ns(cell, seconds(duration_s))
     stamps = np.array(timestamps[10:], dtype=np.int64)
     if len(stamps) < 2:
         return 0.0

@@ -38,8 +38,9 @@ from repro.faults.scenarios import (
     scenario_by_name,
     standard_scenarios,
 )
-from repro.parallel.pool import available_parallelism, run_shards
+from repro.parallel.pool import run_shards
 from repro.parallel.workers import run_campaign_shard
+from repro.telemetry.metrics import active as _telemetry_active
 from repro.transport.packet import FlowDirection, Packet
 from repro.transport.udp import UdpSender, UdpSink
 
@@ -66,6 +67,10 @@ class ScenarioRun:
     detection: Dict[str, int]
     link_faults: List[dict]
     replay_digest_matched: Optional[bool] = None
+    #: FailoverTimeline.as_dict(), populated only when telemetry is
+    #: enabled; excluded from :meth:`as_dict` so the chaos report (and
+    #: its serial-vs-parallel equality) is identical either way.
+    timeline: Optional[dict] = None
 
     def as_dict(self) -> dict:
         return {
@@ -192,6 +197,30 @@ def run_scenario(
         },
         link_faults=injector.link_fault_stats(),
     )
+    metrics = _telemetry_active()
+    if metrics is not None:
+        # Per-scenario recovery span: fault (or window start, for pure
+        # link-noise scenarios) through recovery (or window end). The
+        # timeline reconstructor recomputes the full decomposition; the
+        # span is the coarse sim-time interval that decomposition covers.
+        from repro.telemetry.timeline import FailoverTimeline
+
+        timeline = FailoverTimeline.from_events(
+            events,
+            window_start_ns=MEASURE_START_NS,
+            window_end_ns=MEASURE_END_NS,
+        )
+        start = timeline.fault_ns
+        end = timeline.first_good_ns
+        metrics.span(
+            "chaos.recovery",
+            MEASURE_START_NS if start is None else start,
+            MEASURE_END_NS if end is None else end,
+            scenario=scenario.name,
+            seed=seed,
+            downtime_ns=timeline.downtime_ns,
+        )
+        run.timeline = timeline.as_dict()
     if replay:
         replay_cell, _ = _execute(scenario, seed)
         run.replay_digest_matched = replay_cell.trace.digest() == digest
@@ -242,11 +271,48 @@ def _format_run(run: ScenarioRun) -> str:
     )
 
 
+def default_bench_path() -> Path:
+    """Repo-local baseline location: ``benchmarks/BENCH_chaos.json``."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_chaos.json"
+
+
+def check_against_baseline(report: CampaignReport, baseline_path: Path) -> List[str]:
+    """Compare a fresh campaign's digests to the recorded baseline.
+
+    Only the runs actually executed are compared (so ``--check`` composes
+    with ``--scenario``/``--quick`` subsets); a run missing from the
+    baseline is a failure — the baseline must be re-recorded to cover it.
+    """
+    failures: List[str] = []
+    if not baseline_path.exists():
+        return [f"baseline {baseline_path} does not exist (record it first)"]
+    recorded = json.loads(baseline_path.read_text())
+    by_key = {
+        (entry["scenario"], entry["seed"]): entry
+        for entry in recorded.get("runs", [])
+    }
+    for run in report.runs:
+        entry = by_key.get((run.scenario, run.seed))
+        if entry is None:
+            failures.append(
+                f"{run.scenario}/seed={run.seed}: not in baseline"
+            )
+        elif entry["digest"] != run.digest:
+            failures.append(
+                f"{run.scenario}/seed={run.seed}: digest "
+                f"{run.digest[:12]}... != recorded {entry['digest'][:12]}..."
+            )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.cliopts import harness_options, resolve_jobs
+
     parser = argparse.ArgumentParser(
         prog="repro chaos",
         description="Deterministic fault-injection campaign with "
         "recovery-invariant checking.",
+        parents=[harness_options()],
     )
     parser.add_argument(
         "--scenario",
@@ -259,8 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--seeds",
         type=int,
         nargs="+",
-        default=[1, 2, 3],
-        help="scenario seeds (default: 1 2 3)",
+        default=None,
+        help="scenario seeds (default: 1 2 3; --quick: 1)",
     )
     parser.add_argument(
         "--no-replay",
@@ -268,25 +334,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the digest-stability replay of each run (faster)",
     )
     parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for the (scenario, seed) shards; 0 = one "
-        "per CPU core. Results are bit-identical at any value (default: 1)",
-    )
-    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
-    )
-    parser.add_argument(
-        "--bench",
-        type=Path,
-        default=None,
-        metavar="FILE",
-        help="write the JSON campaign report to this file",
     )
     try:
         args = parser.parse_args(argv)
@@ -307,17 +358,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         selected = list(standard_scenarios())
 
-    if args.jobs < 0:
-        print("repro chaos: --jobs must be >= 0", file=sys.stderr)
+    jobs = resolve_jobs(args.jobs, "repro chaos")
+    if jobs is None:
         return 2
-    jobs = args.jobs if args.jobs > 0 else available_parallelism()
+    seeds = args.seeds if args.seeds is not None else ([1] if args.quick else [1, 2, 3])
+    replay = not (args.no_replay or args.quick)
 
     def progress(run: ScenarioRun) -> None:
         if args.format == "text":
             print(_format_run(run), flush=True)
 
     report = run_campaign(
-        selected, seeds=args.seeds, replay=not args.no_replay,
+        selected, seeds=seeds, replay=replay,
         progress=progress, jobs=jobs,
     )
     if args.format == "json":
@@ -339,9 +391,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 + "]"
             )
         print(summary)
-    if args.bench is not None:
-        args.bench.parent.mkdir(parents=True, exist_ok=True)
-        args.bench.write_text(json.dumps(report.bench_dict(), indent=2) + "\n")
+    if args.check:
+        failures = check_against_baseline(
+            report, args.out if args.out is not None else default_bench_path()
+        )
+        if failures:
+            print(f"\nchaos check FAILED ({len(failures)} mismatch(es)):")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"\nchaos check passed ({len(report.runs)} run(s))")
+    elif args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report.bench_dict(), indent=2) + "\n")
     return 0 if report.passed else 1
 
 

@@ -44,6 +44,19 @@ def run_chaos_events_shard(payload: Tuple[str, int]) -> Dict[str, Any]:
     }
 
 
+def run_telemetry_shard(payload: Tuple[str, int]) -> Dict[str, Any]:
+    """One instrumented chaos run: digest + metrics snapshot + timeline.
+
+    The worker enables its own fresh registry (inside
+    ``run_instrumented_scenario``), so shards stay independent and the
+    parent merges their snapshots in canonical key order.
+    """
+    from repro.telemetry.runner import run_instrumented_scenario
+
+    scenario_name, seed = payload
+    return run_instrumented_scenario(scenario_name, seed)
+
+
 def run_perf_benchmark_shard(payload: Tuple[str, bool]) -> Dict[str, Any]:
     """One named perf-catalog benchmark, timed inside the worker."""
     from repro.perf.benchmarks import CATALOG

@@ -77,27 +77,16 @@ def _format_text(report: PerfReport) -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.cliopts import harness_options
+
     parser = argparse.ArgumentParser(
         prog="repro perf",
         description="Micro/macro benchmark harness for the Slingshot reproduction.",
+        parents=[harness_options()],
     )
     parser.add_argument(
         "names", nargs="*",
         help="benchmark names to run (default: the full catalog; see --list)",
-    )
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="shorter micro workloads and no profiling pass (macro scenario "
-             "durations are unchanged, so digests stay comparable)",
-    )
-    parser.add_argument(
-        "--check", action="store_true",
-        help="regression gate: compare a fresh run against the recorded "
-             "baseline instead of overwriting it",
-    )
-    parser.add_argument(
-        "--bench", type=Path, default=None, metavar="FILE",
-        help="benchmark JSON path (default: benchmarks/BENCH_perf.json)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -108,11 +97,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action=argparse.BooleanOptionalAction, default=None,
         help="force the macro profiling pass on/off "
              "(default: on for full runs, off for --quick)",
-    )
-    parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the macro scenarios (0 = one per CPU "
-             "core); micro rates and all digests are unaffected (default: 1)",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -135,7 +119,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:32s} {spec.kind:5s} {spec.description}")
         return 0
 
-    bench_path = args.bench if args.bench is not None else default_bench_path()
+    bench_path = args.out if args.out is not None else default_bench_path()
 
     baseline: Optional[PerfReport] = None
     if args.check:
@@ -146,13 +130,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    if args.jobs < 0:
-        print("repro perf: --jobs must be >= 0", file=sys.stderr)
-        return 2
-    if args.jobs == 0:
-        from repro.parallel.pool import available_parallelism
+    from repro.cliopts import resolve_jobs
 
-        args.jobs = available_parallelism()
+    jobs = resolve_jobs(args.jobs, "repro perf")
+    if jobs is None:
+        return 2
+    args.jobs = jobs
 
     names: Optional[List[str]] = args.names or None
     if names is None and baseline is not None:

@@ -26,7 +26,7 @@ from repro.apps.iperf import UdpIperfUplink
 from repro.apps.ping import PingClient, UePingResponder
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
-from repro.sim.units import MS, s_to_ns
+from repro.sim.units import MS, run_for_ns, run_until_ns, s_to_ns, seconds
 from repro.transport.packet import Packet
 
 
@@ -54,11 +54,11 @@ def run_fig9_cell(duration_s: float = 1.2, failure_at_s: float = 0.6, seed: int 
             bearer_id=1,
             interval_ns=10 * MS,
         )
-    cell.run_for(s_to_ns(0.2))
+    run_for_ns(cell, seconds(0.2))
     for client in clients.values():
         client.start()
     cell.kill_phy_at(0, s_to_ns(failure_at_s))
-    cell.run_until(s_to_ns(duration_s))
+    run_until_ns(cell, seconds(duration_s))
     return cell
 
 
@@ -79,10 +79,10 @@ def run_fig10_smoke_cell(duration_s: float = 1.0, event_at_s: float = 0.6, seed:
     flow = UdpIperfUplink(
         cell.sim, cell.server, ue, "iperf", 1, bitrate_bps=15.8e6
     )
-    cell.run_for(s_to_ns(0.2))
+    run_for_ns(cell, seconds(0.2))
     flow.start()
     cell.kill_phy_at(0, s_to_ns(event_at_s))
-    cell.run_until(s_to_ns(duration_s))
+    run_until_ns(cell, seconds(duration_s))
     return cell
 
 

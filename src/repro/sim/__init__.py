@@ -20,7 +20,10 @@ from repro.sim.units import (
     ns_to_ms,
     ns_to_s,
     ns_to_us,
+    run_for_ns,
+    run_until_ns,
     s_to_ns,
+    seconds,
     us_to_ns,
     ms_to_ns,
 )
@@ -43,4 +46,7 @@ __all__ = [
     "us_to_ns",
     "ms_to_ns",
     "s_to_ns",
+    "seconds",
+    "run_for_ns",
+    "run_until_ns",
 ]

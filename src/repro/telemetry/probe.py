@@ -1,0 +1,96 @@
+"""Per-subsystem event counting on the ``Simulator._pop`` seam.
+
+Every fired event leaves the queue through :meth:`Simulator._pop`, the
+same single hook point the perf profiler uses. Where
+:class:`repro.perf.sampler.PopSampler` times every N-th callback,
+:class:`EventCountProbe` merely *counts* every popped event into the
+active :class:`~repro.telemetry.metrics.MetricsRegistry` under
+``engine.events.<subsystem>`` — attribution reuses
+:func:`repro.perf.sampler.subsystem_of` so perf shares and telemetry
+counts bucket identically.
+
+Counting never touches the handle's callback, never reads a clock, and
+never writes a trace record, so a probed run's canonical digest is
+bit-identical to an unprobed one. The patch is class-level and
+process-global for the duration of the ``with`` block, exactly like
+``PopSampler`` (and like it, not reentrant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.perf.sampler import subsystem_of
+from repro.sim.engine import Simulator
+from repro.telemetry.metrics import MetricsRegistry, active
+
+#: Counter-name prefix for per-subsystem fired-event counts.
+EVENT_COUNTER_PREFIX = "engine.events."
+
+
+class EventCountProbe:
+    """Context manager counting every fired event by subsystem.
+
+    Usage::
+
+        registry = MetricsRegistry()
+        with enabled(registry), EventCountProbe() as probe:
+            run_scenario(...)
+        registry.snapshot()["counters"]["engine.events.repro.phy"]
+
+    With no explicit registry the probe records into the active one at
+    entry time; with neither, counts accumulate only in :attr:`counts`.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry
+        #: Fired-event count per subsystem (always populated).
+        self.counts: Dict[str, int] = {}
+        self._saved_pop: Optional[Callable[..., Any]] = None
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    # Class-level _pop patch (PopSampler pattern: save, wrap, restore)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "EventCountProbe":
+        if self._saved_pop is not None:
+            raise RuntimeError("EventCountProbe is not reentrant")
+        registry = self._registry if self._registry is not None else active()
+        counts = self.counts
+        inner_pop = Simulator._pop
+        self._saved_pop = inner_pop
+
+        if registry is not None:
+            counters = registry._counters
+            counter_for = registry.counter
+
+            def counting_pop(sim: Simulator, limit: Optional[int] = None):
+                entry = inner_pop(sim, limit)
+                if entry is not None:
+                    bucket = subsystem_of(entry[3].callback)
+                    counts[bucket] = counts.get(bucket, 0) + 1
+                    name = EVENT_COUNTER_PREFIX + bucket
+                    counter = counters.get(name)
+                    if counter is None:
+                        counter = counter_for(name)
+                    counter.value += 1
+                return entry
+
+        else:
+
+            def counting_pop(sim: Simulator, limit: Optional[int] = None):
+                entry = inner_pop(sim, limit)
+                if entry is not None:
+                    bucket = subsystem_of(entry[3].callback)
+                    counts[bucket] = counts.get(bucket, 0) + 1
+                return entry
+
+        Simulator._pop = counting_pop
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        Simulator._pop = self._saved_pop
+        self._saved_pop = None

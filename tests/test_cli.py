@@ -3,6 +3,13 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
+from repro.experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    get,
+    register,
+    registered_names,
+)
 
 
 class TestParser:
@@ -48,3 +55,55 @@ class TestExecution:
         for name, (runner, description, _) in EXPERIMENTS.items():
             assert callable(runner), name
             assert description, name
+
+class TestRegistry:
+    """The CLI is derived from the Experiment registry, not hand-written."""
+
+    def test_cli_table_round_trips_through_registry(self):
+        assert list(EXPERIMENTS) == registered_names()
+        for name, (_, description, duration) in EXPERIMENTS.items():
+            spec = get(name)
+            assert spec.name == name
+            assert spec.description == description
+            assert spec.default_duration_s == duration
+
+    def test_list_output_matches_registered_names(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        listed = [
+            line.split()[0]
+            for line in out.splitlines()
+            if line.startswith("  ") and line.split()
+        ]
+        for name in registered_names():
+            assert name in listed
+
+    def test_specs_satisfy_the_experiment_protocol(self):
+        from repro.experiments import Experiment
+
+        for spec in REGISTRY.values():
+            assert isinstance(spec, Experiment), spec.name
+            assert callable(spec.module.run), spec.name
+            assert callable(spec.module.summarize), spec.name
+
+    def test_default_params_reflect_run_signature(self):
+        params = get("fig8").default_params
+        assert "duration_s" in params
+        assert params["duration_s"] == get("fig8").default_duration_s
+
+    def test_duplicate_registration_rejected(self):
+        spec = get("fig8")
+        with pytest.raises(ValueError, match="registered twice"):
+            register(spec)
+
+    def test_cli_params_map_namespace_to_run_kwargs(self):
+        args = build_parser().parse_args(["fig8"])
+        from repro.cli import _defaults_for
+
+        _defaults_for("fig8", args)
+        kwargs = get("fig8").cli_params(args)
+        assert set(kwargs) == {"duration_s", "failure_at_s"}
+        run_params = set(
+            __import__("inspect").signature(get("fig8").module.run).parameters
+        )
+        assert set(kwargs) <= run_params

@@ -163,6 +163,43 @@ class TestTimeUnitRules:
         )
         assert "TIM002" not in rule_ids(findings)
 
+    def test_tim003_seconds_identifier_into_scheduler(self):
+        findings = lint(
+            "def f(sim, duration_s):\n"
+            "    sim.run_for(duration_s)\n"
+        )
+        assert "TIM003" in rule_ids(findings)
+
+    def test_tim003_seconds_attribute_into_boundary_helper(self):
+        findings = lint(
+            "from repro.sim.units import run_for_ns\n"
+            "def f(cell, config):\n"
+            "    run_for_ns(cell, config.gap_seconds)\n"
+        )
+        assert "TIM003" in rule_ids(findings)
+
+    def test_tim003_converted_seconds_allowed(self):
+        findings = lint(
+            "from repro.sim.units import run_for_ns, seconds\n"
+            "def f(cell, duration_s):\n"
+            "    run_for_ns(cell, seconds(duration_s))\n"
+        )
+        assert "TIM003" not in rule_ids(findings)
+
+    def test_tim003_ns_identifier_allowed(self):
+        findings = lint(
+            "def f(sim, duration_ns):\n"
+            "    sim.run_for(duration_ns)\n"
+        )
+        assert "TIM003" not in rule_ids(findings)
+
+    def test_tim003_suppressed(self):
+        findings = lint(
+            "def f(sim, delay_s):\n"
+            "    sim.schedule(delay_s, print)  # slinglint: disable=TIM003\n"
+        )
+        assert "TIM003" not in rule_ids(findings)
+
 
 class TestEventSafetyRules:
     def test_evt001_loop_capture(self):
@@ -289,6 +326,62 @@ class TestP4BudgetRules:
         assert summary.tables["t0"] == 256
         assert summary.registers == {"reg": 256}
         assert summary.max_accesses("reg") == 3
+
+
+class TestObservabilityRules:
+    TELEMETRY_PATH = "src/repro/telemetry/metrics.py"
+
+    def test_obs001_time_import_in_telemetry(self):
+        findings = lint("import time\n", path=self.TELEMETRY_PATH)
+        assert "OBS001" in rule_ids(findings)
+
+    def test_obs001_wall_clock_call_in_telemetry(self):
+        findings = lint(
+            "import time  # slinglint: disable=OBS001\n"
+            "def f():\n"
+            "    return time.monotonic_ns()\n",
+            path=self.TELEMETRY_PATH,
+        )
+        assert "OBS001" in rule_ids(findings)
+
+    def test_obs001_random_import_in_telemetry(self):
+        assert "OBS001" in rule_ids(
+            lint("import random\n", path=self.TELEMETRY_PATH)
+        )
+        assert "OBS001" in rule_ids(
+            lint("from numpy.random import default_rng\n",
+                 path=self.TELEMETRY_PATH)
+        )
+
+    def test_obs001_rng_stream_acquisition_in_telemetry(self):
+        findings = lint(
+            "def f(registry):\n"
+            "    return registry.stream('telemetry')\n",
+            path=self.TELEMETRY_PATH,
+        )
+        assert "OBS001" in rule_ids(findings)
+
+    def test_obs001_inactive_outside_telemetry(self):
+        findings = lint(
+            "import time\nstart = time.monotonic_ns()\n",
+            path="src/repro/perf/timing.py",
+        )
+        assert "OBS001" not in rule_ids(findings)
+
+    def test_obs001_sim_time_arithmetic_allowed(self):
+        findings = lint(
+            "def span(t_start_ns, t_end_ns):\n"
+            "    return t_end_ns - t_start_ns\n",
+            path=self.TELEMETRY_PATH,
+        )
+        assert "OBS001" not in rule_ids(findings)
+
+    def test_obs001_suppressed(self):
+        findings = lint(
+            "import time  # slinglint: disable=OBS001\n",
+            path=self.TELEMETRY_PATH,
+        )
+        assert "OBS001" not in rule_ids(findings)
 
 
 class TestParallelRules:
