@@ -44,6 +44,9 @@ from repro.analysis import observability as _observability  # noqa: F401
 from repro.analysis import p4budget as _p4budget  # noqa: F401
 from repro.analysis import parallel_rules as _parallel_rules  # noqa: F401
 from repro.analysis import perf_rules as _perf_rules  # noqa: F401
+from repro.analysis import state_inventory as _state_inventory  # noqa: F401
+from repro.analysis import streams as _streams  # noqa: F401
+from repro.analysis import taint as _taint  # noqa: F401
 from repro.analysis import time_units as _time_units  # noqa: F401
 
 __all__ = [

@@ -11,7 +11,7 @@ clock.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import LintContext, LintRule, dotted_name, register_rule
@@ -163,71 +163,3 @@ class NumpyGlobalRngRule(LintRule):
                 head == "np.random" or head == "numpy.random"
             ):
                 yield self.finding(ctx, node, f"numpy global-state call {name}()")
-
-
-def _stream_name_prefix(node: ast.expr) -> Optional[str]:
-    """Static prefix of a ``.stream(<arg>)`` name argument.
-
-    Returns the full string for a literal, the leading constant text for
-    an f-string (``f"faults.link.{link.name}"`` -> ``"faults.link."``),
-    and ``None`` when nothing can be determined statically.
-    """
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value
-    if isinstance(node, ast.JoinedStr) and node.values:
-        first = node.values[0]
-        if isinstance(first, ast.Constant) and isinstance(first.value, str):
-            return first.value
-    return None
-
-
-@register_rule
-class FaultStreamNamespaceRule(LintRule):
-    """DET005: fault-injection randomness lives in ``faults.*`` streams.
-
-    The chaos harness must never share an RNG stream with the system
-    under test: a fault plan that consumed draws from, say, the channel
-    stream would perturb the clean run it is compared against, making
-    fault injection observable through the RNG rather than through the
-    faults themselves. Every ``.stream(...)`` call inside
-    ``repro/faults/`` must therefore name a stream in the reserved
-    ``faults.`` namespace, statically (a literal or an f-string whose
-    constant prefix already carries the namespace).
-    """
-
-    rule_id = "DET005"
-    title = "fault RNG outside faults.* namespace"
-    severity = Severity.ERROR
-    fix_hint = (
-        'name the stream inside the reserved namespace, e.g. '
-        'rng.stream("faults.link.<name>"); keep the "faults." prefix in '
-        "the static part of the name"
-    )
-
-    def check(self, ctx: LintContext) -> Iterator[Finding]:
-        if not ctx.module_parts or ctx.module_parts[0] != "faults":
-            return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = dotted_name(node.func)
-            if name is None or name.rpartition(".")[2] != "stream":
-                continue
-            if not node.args:
-                yield self.finding(ctx, node, "stream() call without a name")
-                continue
-            prefix = _stream_name_prefix(node.args[0])
-            if prefix is None:
-                yield self.finding(
-                    ctx,
-                    node,
-                    "stream name is not statically prefixed; cannot prove "
-                    "it stays inside the faults.* namespace",
-                )
-            elif not prefix.startswith("faults."):
-                yield self.finding(
-                    ctx,
-                    node,
-                    f"stream name {prefix!r}... escapes the faults.* "
-                    "namespace reserved for fault injection",
-                )

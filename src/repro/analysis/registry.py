@@ -16,9 +16,22 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
 
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (program -> registry)
+    from repro.analysis.program import Program
 
 _SUPPRESS_RE = re.compile(
     r"#\s*slinglint:\s*(disable|disable-file)=([A-Za-z0-9_,\s]+|all)"
@@ -138,6 +151,43 @@ class LintRule:
         )
 
 
+class ProgramRule(LintRule):
+    """Base class for a whole-program rule.
+
+    Program rules run once per lint invocation over the
+    :class:`~repro.analysis.program.Program` built from every linted
+    file, instead of once per file. Findings still anchor to a file and
+    line, and are filtered through *that* file's suppressions.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Program rules do not participate in the per-file pass."""
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Optional[Severity] = None,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding at an explicit location (cross-file anchor)."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
 _REGISTRY: Dict[str, Type[LintRule]] = {}
 
 
@@ -156,14 +206,53 @@ def all_rules() -> List[LintRule]:
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
+def file_rules() -> List[LintRule]:
+    """Registered per-file rules (everything that is not a ProgramRule)."""
+    return [rule for rule in all_rules() if not isinstance(rule, ProgramRule)]
+
+
+def program_rules() -> List[ProgramRule]:
+    """Registered whole-program rules."""
+    return [rule for rule in all_rules() if isinstance(rule, ProgramRule)]
+
+
 def run_rules(
-    ctx: LintContext, rules: Optional[Iterable[LintRule]] = None
+    ctx: LintContext,
+    rules: Optional[Iterable[LintRule]] = None,
+    suppressed: Optional[List[Finding]] = None,
 ) -> List[Finding]:
-    """Run rules over one context, dropping suppressed findings."""
+    """Run per-file rules over one context, dropping suppressed findings.
+
+    When ``suppressed`` is given, dropped findings are collected into it
+    so the caller can audit which suppression directives actually fired
+    (``--strict-suppressions``).
+    """
     results: List[Finding] = []
-    for rule in all_rules() if rules is None else rules:
+    for rule in file_rules() if rules is None else rules:
         for finding in rule.check(ctx):
-            if not ctx.suppressed(finding.rule_id, finding.line):
+            if ctx.suppressed(finding.rule_id, finding.line):
+                if suppressed is not None:
+                    suppressed.append(finding)
+            else:
+                results.append(finding)
+    return results
+
+
+def run_program_rules(
+    program: "Program",
+    rules: Optional[Iterable[ProgramRule]] = None,
+    suppressed: Optional[List[Finding]] = None,
+) -> List[Finding]:
+    """Run whole-program rules, filtering each finding through the
+    suppressions of the file it anchors to."""
+    results: List[Finding] = []
+    for rule in program_rules() if rules is None else rules:
+        for finding in rule.check_program(program):
+            ctx = program.context_for_path(finding.path)
+            if ctx is not None and ctx.suppressed(finding.rule_id, finding.line):
+                if suppressed is not None:
+                    suppressed.append(finding)
+            else:
                 results.append(finding)
     return results
 

@@ -2,8 +2,22 @@
 
 ``python -m repro lint [paths...]`` — lints ``src/repro`` by default,
 prints a text or JSON report, and exits 0 (clean), 1 (findings), or
-2 (usage/parse error). ``--bench FILE`` appends a runtime record so the
-lint pass itself is benchmarked alongside the simulations.
+2 (usage/parse error). The driver parses every file first, builds the
+:class:`~repro.analysis.program.Program` whole-program model, then runs
+per-file rules file by file and program rules once over the whole set.
+
+Extras beyond the plain pass:
+
+* ``--strict-suppressions`` — audit ``# slinglint: disable=`` comments
+  and flag the ones that no longer suppress anything (SUP001);
+* ``--list-rules`` — print the rule catalog (id, severity, title);
+* ``--state-inventory FILE`` — write the CKPT mutable-state inventory
+  (:mod:`repro.analysis.state_inventory`);
+* ``--sanitize`` — run the golden scenarios with the RNG-stream
+  recorder on and diff dynamic draws against the static STREAM map
+  (:mod:`repro.analysis.sanitize`);
+* ``--bench FILE`` — append a runtime record so the lint pass itself is
+  benchmarked alongside the simulations.
 """
 
 from __future__ import annotations
@@ -12,11 +26,20 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
-from repro.analysis.findings import Finding, format_findings, sort_findings
-from repro.analysis.registry import LintContext, run_rules
+from repro.analysis.findings import Finding, Severity, format_findings, sort_findings
+from repro.analysis.program import Program
+from repro.analysis.registry import (
+    LintContext,
+    LintRule,
+    all_rules,
+    register_rule,
+    run_program_rules,
+    run_rules,
+)
 
 
 def _repo_root() -> Path:
@@ -28,43 +51,171 @@ def _default_target() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+@register_rule
+class UnusedSuppressionRule(LintRule):
+    """SUP001: suppression comments must still suppress something.
+
+    A ``# slinglint: disable=RULE`` directive that no longer matches any
+    finding is dead weight: it documents a violation that was fixed (or
+    never existed) and will silently swallow a *future* violation on
+    that line. Driver-computed — enabled by ``--strict-suppressions``.
+    """
+
+    rule_id = "SUP001"
+    title = "unused suppression directive"
+    severity = Severity.WARNING
+    fix_hint = "delete the stale # slinglint: disable comment"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        # Computed by the driver from suppression-hit data, not from the
+        # AST; the class exists so the catalog and severity are uniform.
+        return iter(())
+
+
+def unused_suppression_findings(
+    ctx: LintContext, suppressed: Sequence[Finding]
+) -> List[Finding]:
+    """SUP001 findings for directives in ``ctx`` that suppressed nothing.
+
+    ``suppressed`` is the set of findings (for this file) that rule
+    execution dropped; a directive is *used* when at least one dropped
+    finding matches its line and rule id.
+    """
+    rule = UnusedSuppressionRule()
+
+    def stale(path: str, line: int, rule_id: str, file_level: bool) -> Finding:
+        scope = "file-wide " if file_level else ""
+        return Finding(
+            path=path,
+            line=line,
+            col=1,
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=(
+                f"{scope}suppression of {rule_id} no longer suppresses "
+                "any finding"
+            ),
+            fix_hint=rule.fix_hint,
+        )
+
+    dropped_by_line: Dict[int, Set[str]] = {}
+    dropped_ids: Set[str] = set()
+    for finding in suppressed:
+        dropped_by_line.setdefault(finding.line, set()).add(finding.rule_id)
+        dropped_ids.add(finding.rule_id)
+    findings: List[Finding] = []
+    for line in sorted(ctx.line_suppressions):
+        at_line = dropped_by_line.get(line, set())
+        for rule_id in sorted(ctx.line_suppressions[line]):
+            used = bool(at_line) if rule_id == "all" else rule_id in at_line
+            if not used:
+                findings.append(stale(ctx.path, line, rule_id, file_level=False))
+    for rule_id in sorted(ctx.file_suppressions):
+        used = bool(dropped_ids) if rule_id == "all" else rule_id in dropped_ids
+        if not used:
+            findings.append(stale(ctx.path, 1, rule_id, file_level=True))
+    return findings
+
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    findings: List[Finding]
+    contexts: List[LintContext] = field(default_factory=list)
+    program: Optional[Program] = None
+    #: Findings dropped by suppression directives, per file path.
+    suppressed_by_path: Dict[str, List[Finding]] = field(default_factory=dict)
+
+
+def _run_over_contexts(
+    contexts: Sequence[LintContext], strict_suppressions: bool = False
+) -> LintReport:
+    """Run per-file and program rules over parsed contexts."""
+    program = Program(contexts)
+    findings: List[Finding] = []
+    suppressed_by_path: Dict[str, List[Finding]] = {
+        ctx.path: [] for ctx in contexts
+    }
+    for ctx in contexts:
+        findings.extend(
+            run_rules(ctx, suppressed=suppressed_by_path[ctx.path])
+        )
+    program_suppressed: List[Finding] = []
+    findings.extend(run_program_rules(program, suppressed=program_suppressed))
+    for finding in program_suppressed:
+        suppressed_by_path.setdefault(finding.path, []).append(finding)
+    if strict_suppressions:
+        for ctx in contexts:
+            findings.extend(
+                unused_suppression_findings(
+                    ctx, suppressed_by_path.get(ctx.path, [])
+                )
+            )
+    return LintReport(
+        findings=sort_findings(findings),
+        contexts=list(contexts),
+        program=program,
+        suppressed_by_path=suppressed_by_path,
+    )
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     num_rus: int = 256,
     num_phys: int = 256,
 ) -> List[Finding]:
-    """Lint one source string; raises SyntaxError on unparseable input."""
+    """Lint one source string; raises SyntaxError on unparseable input.
+
+    The single file forms a one-module program, so program rules
+    (STREAM/TIMX/CKPT) run over it too.
+    """
     ctx = LintContext.for_source(
         source, path=path, p4_num_rus=num_rus, p4_num_phys=num_phys
     )
-    return sort_findings(run_rules(ctx))
+    return _run_over_contexts([ctx]).findings
+
+
+def _is_skippable(path: Path) -> bool:
+    """True for files under ``__pycache__`` or hidden directories."""
+    return any(
+        part == "__pycache__" or part.startswith(".") for part in path.parts[:-1]
+    ) or path.name.startswith(".")
 
 
 def discover_files(paths: Iterable[Path]) -> List[Path]:
-    """Expand directories into sorted ``*.py`` file lists."""
+    """Expand directories into sorted ``*.py`` file lists.
+
+    ``__pycache__`` and hidden directories are skipped, and overlapping
+    arguments are deduplicated by resolved path — ``repro lint src
+    src/repro`` lints (and reports) each file once.
+    """
     files: List[Path] = []
+    seen: Set[Path] = set()
     for path in paths:
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
+            candidates = sorted(
+                p for p in path.rglob("*.py") if not _is_skippable(p)
+            )
         else:
-            files.append(path)
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
     return files
 
 
-def lint_paths(
-    paths: Optional[Sequence[Path]] = None,
-    num_rus: int = 256,
-    num_phys: int = 256,
-) -> List[Finding]:
-    """Lint files/directories (default: the ``repro`` package source).
-
-    Finding paths are reported relative to the repository root when the
-    file lives under it, so reports are stable across checkouts.
-    """
+def _contexts_for_paths(
+    paths: Optional[Sequence[Path]],
+    num_rus: int,
+    num_phys: int,
+) -> List[LintContext]:
     targets = [Path(p) for p in paths] if paths else [_default_target()]
     root = _repo_root()
-    findings: List[Finding] = []
+    contexts: List[LintContext] = []
     for file_path in discover_files(targets):
         source = file_path.read_text()
         resolved = file_path.resolve()
@@ -72,10 +223,55 @@ def lint_paths(
             display = str(resolved.relative_to(root))
         except ValueError:
             display = str(file_path)
-        findings.extend(
-            lint_source(source, path=display, num_rus=num_rus, num_phys=num_phys)
+        contexts.append(
+            LintContext.for_source(
+                source, path=display, p4_num_rus=num_rus, p4_num_phys=num_phys
+            )
         )
-    return sort_findings(findings)
+    return contexts
+
+
+def lint_report(
+    paths: Optional[Sequence[Path]] = None,
+    num_rus: int = 256,
+    num_phys: int = 256,
+    strict_suppressions: bool = False,
+) -> LintReport:
+    """Full lint pass over files/directories, returning the rich report.
+
+    Finding paths are reported relative to the repository root when the
+    file lives under it, so reports are stable across checkouts.
+    """
+    contexts = _contexts_for_paths(paths, num_rus, num_phys)
+    return _run_over_contexts(contexts, strict_suppressions=strict_suppressions)
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    num_rus: int = 256,
+    num_phys: int = 256,
+    strict_suppressions: bool = False,
+) -> List[Finding]:
+    """Lint files/directories (default: the ``repro`` package source)."""
+    return lint_report(
+        paths,
+        num_rus=num_rus,
+        num_phys=num_phys,
+        strict_suppressions=strict_suppressions,
+    ).findings
+
+
+def rule_catalog() -> str:
+    """The registered rule catalog, one ``ID severity title`` line each."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id:10s} {str(rule.severity):8s} {rule.title}")
+    return "\n".join(lines)
+
+
+#: Wall-clock budget for one whole-repo lint pass; the tier-1 smoke
+#: fails when the analyzer grows slower than this.
+LINT_BUDGET_SECONDS = 20.0
 
 
 def _record_bench(bench_path: Path, files: int, findings: int, seconds: float) -> None:
@@ -90,8 +286,10 @@ def _record_bench(bench_path: Path, files: int, findings: int, seconds: float) -
         {
             "benchmark": "slinglint",
             "files": files,
+            "rules": len(all_rules()),
             "findings": findings,
             "wall_seconds": round(seconds, 4),
+            "budget_seconds": LINT_BUDGET_SECONDS,
         }
     )
     bench_path.parent.mkdir(parents=True, exist_ok=True)
@@ -128,6 +326,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="PHY-server count for the P4 resource verifier (default: 256)",
     )
     parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help="flag # slinglint: disable comments that suppress nothing (SUP001)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, severity, title) and exit",
+    )
+    parser.add_argument(
+        "--state-inventory",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the CKPT mutable-state inventory JSON to FILE",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the golden scenarios with the RNG-stream recorder and "
+        "diff dynamic draws against the static STREAM map",
+    )
+    parser.add_argument(
         "--bench",
         type=Path,
         default=None,
@@ -138,28 +359,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args = parser.parse_args(argv)
     except SystemExit as exc:
         return 2 if exc.code not in (0, None) else 0
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
     # Wall-clock timing of the lint pass itself is host tooling, not
-    # simulation logic.  # slinglint: disable=DET001
+    # simulation logic.
     started = time.perf_counter()  # slinglint: disable=DET001
     try:
-        findings = lint_paths(
-            args.paths or None, num_rus=args.num_rus, num_phys=args.num_phys
+        report = lint_report(
+            args.paths or None,
+            num_rus=args.num_rus,
+            num_phys=args.num_phys,
+            strict_suppressions=args.strict_suppressions,
         )
     except (SyntaxError, OSError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    findings = report.findings
     elapsed = time.perf_counter() - started  # slinglint: disable=DET001
+    sanitize_failed = False
+    extra_lines: List[str] = []
+    if args.state_inventory is not None and report.program is not None:
+        from repro.analysis.state_inventory import write_inventory
+
+        write_inventory(report.program, args.state_inventory)
+        extra_lines.append(f"state inventory written to {args.state_inventory}")
+    if args.sanitize and report.program is not None:
+        from repro.analysis.sanitize import run_sanitizer
+
+        result = run_sanitizer(report.program)
+        extra_lines.append(result.summary())
+        sanitize_failed = bool(result.divergences)
     try:
         print(format_findings(findings, fmt=args.format))
+        for line in extra_lines:
+            print(line)
     except BrokenPipeError:
         # Downstream (e.g. `| head`) closed the pipe; the exit code
         # still reports the findings.
         sys.stderr.close()
-        return 1 if findings else 0
+        return 1 if findings or sanitize_failed else 0
     if args.bench is not None:
-        files = len(discover_files([Path(p) for p in args.paths] or [_default_target()]))
-        _record_bench(args.bench, files=files, findings=len(findings), seconds=elapsed)
-    return 1 if findings else 0
+        _record_bench(
+            args.bench,
+            files=len(report.contexts),
+            findings=len(findings),
+            seconds=elapsed,
+        )
+    return 1 if findings or sanitize_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,468 @@
+"""Interprocedural ns-taint rules (TIMX0xx).
+
+TIM001/TIM003 are lexical: they flag a float literal or a
+seconds-suffixed identifier *visible in the argument expression* of a
+scheduling call. The moment the value takes one hop — assigned to an
+innocently-named local, returned from a helper, passed through a
+parameter — the name heuristic goes blind. This module tracks
+float-seconds *dataflow* instead:
+
+* **sources** — seconds-suffixed identifiers (``duration_s``,
+  ``timeout_secs``, ``gap_seconds``), plus the known float-time
+  producers ``ns_to_s``/``ns_to_ms``/``ns_to_us``;
+* **propagation** — through local assignments, function returns, and
+  call arguments, using the :class:`~repro.analysis.program.Program`
+  call graph; per-function summaries (param reaches sink, param reaches
+  return, returns seconds) are iterated to a fixpoint so taint crosses
+  any number of call hops;
+* **sanitizers** — the integer-producing conversions (``int``,
+  ``round``, ``s_to_ns``, ``ms_to_ns``, ``us_to_ns``, ``seconds``)
+  clear taint for their whole subtree;
+* **sinks** — the scheduling APIs TIM001 watches (``schedule``, ``at``,
+  ``call_after``, ``run_until``, ``run_for``, ``run_for_ns``,
+  ``run_until_ns``).
+
+TIMX001 fires where tainted dataflow reaches a sink that the lexical
+rules cannot see; TIMX002 fires where a seconds-tainted value is bound
+to a ``*_ns`` name (a unit lie that poisons every later reader).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.program import FunctionInfo, Program
+from repro.analysis.registry import ProgramRule, dotted_name, register_rule
+from repro.analysis.time_units import (
+    _INT_PRODUCERS,
+    _SECONDS_SUFFIXES,
+    _contains_seconds_name,
+    _time_argument,
+)
+
+#: Known float-time producers outside the seconds-suffix convention.
+_SECONDS_PRODUCER_QUALNAMES = frozenset(
+    {
+        "repro.sim.units.ns_to_s",
+        "repro.sim.units.ns_to_ms",
+        "repro.sim.units.ns_to_us",
+    }
+)
+_SECONDS_PRODUCER_TAILS = frozenset({"ns_to_s", "ns_to_ms", "ns_to_us"})
+
+
+def _is_seconds_name(name: str) -> bool:
+    return any(name.endswith(suffix) for suffix in _SECONDS_SUFFIXES)
+
+
+#: Taint roots: ``("param", name)`` — flowed from a parameter;
+#: ``("seconds", name)`` — a seconds-suffixed identifier;
+#: ``("producer", qualname)`` — returned by a float-time producer.
+Root = Tuple[str, str]
+
+
+@dataclass
+class Summary:
+    """Interprocedural facts about one function, iterated to fixpoint."""
+
+    params_to_sink: Set[str] = field(default_factory=set)
+    params_to_return: Set[str] = field(default_factory=set)
+    returns_seconds: bool = False
+
+    def key(self) -> Tuple[Tuple[str, ...], Tuple[str, ...], bool]:
+        return (
+            tuple(sorted(self.params_to_sink)),
+            tuple(sorted(self.params_to_return)),
+            self.returns_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class SinkRecord:
+    """One tainted value reaching a sink inside some function."""
+
+    function: str
+    call: ast.Call
+    sink_name: str
+    roots: Tuple[Root, ...]
+    #: For interprocedural sinks: the callee and parameter the value
+    #: disappears into, e.g. ``("repro.x.y.helper", "delay")``.
+    via: Optional[Tuple[str, str]] = None
+    path: str = ""
+
+
+class _FunctionTaint:
+    """One pass of taint propagation through a single function body."""
+
+    def __init__(
+        self,
+        program: Program,
+        function: FunctionInfo,
+        summaries: Dict[str, Summary],
+    ) -> None:
+        self.program = program
+        self.function = function
+        self.module = program.modules[function.module]
+        self.summaries = summaries
+        self.env: Dict[str, Set[Root]] = {}
+        for param in (*function.params, *function.kwonly):
+            roots: Set[Root] = {("param", param)}
+            if _is_seconds_name(param):
+                roots.add(("seconds", param))
+            self.env[param] = roots
+        self.return_roots: Set[Root] = set()
+        self.sinks: List[SinkRecord] = []
+        self.ns_bindings: List[Tuple[ast.stmt, str, Tuple[Root, ...]]] = []
+
+    # ------------------------------------------------------------------
+    # Expression taint
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.expr) -> Set[Root]:
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Name):
+            roots = set(self.env.get(node.id, set()))
+            if _is_seconds_name(node.id):
+                roots.add(("seconds", node.id))
+            return roots
+        if isinstance(node, ast.Attribute):
+            roots = self.eval(node.value)
+            if _is_seconds_name(node.attr):
+                roots.add(("seconds", node.attr))
+            return roots
+        if isinstance(node, ast.Lambda):
+            return set()
+        roots = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                roots |= self.eval(child)
+        return roots
+
+    def _eval_call(self, node: ast.Call) -> Set[Root]:
+        func_name = dotted_name(node.func)
+        tail = func_name.rpartition(".")[2] if func_name else ""
+        if tail in _INT_PRODUCERS:
+            # Sanitizer: the whole subtree produces integer ns.
+            return set()
+        resolved = self.program.resolve_call(
+            node, self.module, class_name=self.function.class_name
+        )
+        arg_roots = [self.eval(arg) for arg in node.args]
+        kw_roots = {
+            kw.arg: self.eval(kw.value) for kw in node.keywords if kw.arg
+        }
+        if resolved is not None:
+            summary = self.summaries.setdefault(resolved.qualname, Summary())
+            self._record_call_sinks(node, resolved, summary, arg_roots, kw_roots)
+            roots: Set[Root] = set()
+            if summary.returns_seconds or (
+                resolved.qualname in _SECONDS_PRODUCER_QUALNAMES
+            ):
+                roots.add(("producer", resolved.qualname))
+            for position, taint in enumerate(arg_roots):
+                if position < len(resolved.params):
+                    param = resolved.params[position]
+                    if param in summary.params_to_return and taint:
+                        roots |= taint
+            for keyword, taint in kw_roots.items():
+                if keyword in summary.params_to_return and taint:
+                    roots |= taint
+            return roots
+        if tail in _SECONDS_PRODUCER_TAILS:
+            return {("producer", tail)}
+        # Unresolved call: taint passes through, mirroring the lexical
+        # rules' treatment of unknown function arguments.
+        roots = set()
+        for taint in arg_roots:
+            roots |= taint
+        for taint in kw_roots.values():
+            roots |= taint
+        return roots
+
+    def _record_call_sinks(
+        self,
+        node: ast.Call,
+        resolved: FunctionInfo,
+        summary: Summary,
+        arg_roots: List[Set[Root]],
+        kw_roots: Dict[str, Set[Root]],
+    ) -> None:
+        """A tainted argument handed to a param that reaches a sink."""
+        if _time_argument(node) is not None:
+            # The call is itself a recognized scheduling sink; the
+            # direct-sink pass owns it.
+            return
+        sink_name = dotted_name(node.func) or resolved.qualname
+        for position, taint in enumerate(arg_roots):
+            if not taint or position >= len(resolved.params):
+                continue
+            param = resolved.params[position]
+            if param in summary.params_to_sink:
+                self.sinks.append(
+                    SinkRecord(
+                        function=self.function.qualname,
+                        call=node,
+                        sink_name=sink_name,
+                        roots=tuple(sorted(taint)),
+                        via=(resolved.qualname, param),
+                        path=self.module.context.path,
+                    )
+                )
+        for keyword, taint in kw_roots.items():
+            if taint and keyword in summary.params_to_sink:
+                self.sinks.append(
+                    SinkRecord(
+                        function=self.function.qualname,
+                        call=node,
+                        sink_name=sink_name,
+                        roots=tuple(sorted(taint)),
+                        via=(resolved.qualname, keyword),
+                        path=self.module.context.path,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Statement walk
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self._walk(self.function.node.body)
+
+    def _walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # Nested defs get their own pass.
+        self._scan_sinks(stmt)
+        if isinstance(stmt, ast.Assign):
+            roots = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(stmt, target, roots)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt, stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            roots = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name) and roots:
+                self.env.setdefault(stmt.target.id, set()).update(roots)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self.return_roots |= self.eval(stmt.value)
+        else:
+            # Expression statements, conditions, with-items: evaluate so
+            # calls inside them feed the interprocedural sink records.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+                elif isinstance(child, ast.withitem):
+                    self.eval(child.context_expr)
+        for child_body in self._inner_bodies(stmt):
+            self._walk(child_body)
+
+    @staticmethod
+    def _inner_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, attr, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                bodies.append(value)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        return bodies
+
+    def _bind(self, stmt: ast.stmt, target: ast.expr, roots: Set[Root]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(stmt, element, roots)
+            return
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = target.id
+            self.env[name] = set(roots)
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if (
+            name is not None
+            and name.endswith("_ns")
+            and any(kind in ("seconds", "producer") for kind, _ in roots)
+        ):
+            self.ns_bindings.append((stmt, name, tuple(sorted(roots))))
+
+    def _scan_sinks(self, stmt: ast.stmt) -> None:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            time_arg = _time_argument(node)
+            if time_arg is None:
+                continue
+            roots = self.eval(time_arg)
+            if not roots:
+                continue
+            self.sinks.append(
+                SinkRecord(
+                    function=self.function.qualname,
+                    call=node,
+                    sink_name=dotted_name(node.func) or "<sink>",
+                    roots=tuple(sorted(roots)),
+                    path=self.module.context.path,
+                )
+            )
+
+
+@dataclass
+class TaintAnalysis:
+    """Fixpoint result over one program."""
+
+    summaries: Dict[str, Summary]
+    sinks: List[SinkRecord]
+    ns_bindings: List[Tuple[str, ast.stmt, str, Tuple[Root, ...], str]]
+
+
+def analyze(program: Program, max_rounds: int = 8) -> TaintAnalysis:
+    """Iterate per-function taint passes until summaries stabilize.
+
+    Memoized per Program: TIMX001 and TIMX002 share one fixpoint run.
+    """
+    cached = program.analysis_cache.get("taint")
+    if isinstance(cached, TaintAnalysis):
+        return cached
+    summaries: Dict[str, Summary] = {}
+    for producer in _SECONDS_PRODUCER_QUALNAMES:
+        summaries[producer] = Summary(returns_seconds=True)
+    sinks: List[SinkRecord] = []
+    bindings: List[Tuple[str, ast.stmt, str, Tuple[Root, ...], str]] = []
+    for _ in range(max_rounds):
+        sinks = []
+        bindings = []
+        changed = False
+        for function in program.functions():
+            walker = _FunctionTaint(program, function, summaries)
+            walker.run()
+            sinks.extend(walker.sinks)
+            for stmt, name, roots in walker.ns_bindings:
+                bindings.append(
+                    (
+                        function.qualname,
+                        stmt,
+                        name,
+                        roots,
+                        walker.module.context.path,
+                    )
+                )
+            summary = summaries.setdefault(function.qualname, Summary())
+            if function.qualname in _SECONDS_PRODUCER_QUALNAMES:
+                continue
+            before = summary.key()
+            param_names = set(function.params) | set(function.kwonly)
+            for record in walker.sinks:
+                for kind, value in record.roots:
+                    if kind == "param" and value in param_names:
+                        summary.params_to_sink.add(value)
+            for kind, value in walker.return_roots:
+                if kind == "param" and value in param_names:
+                    summary.params_to_return.add(value)
+                elif kind in ("seconds", "producer"):
+                    summary.returns_seconds = True
+            if summary.key() != before:
+                changed = True
+        if not changed:
+            break
+    result = TaintAnalysis(summaries=summaries, sinks=sinks, ns_bindings=bindings)
+    program.analysis_cache["taint"] = result
+    return result
+
+
+def _describe_roots(roots: Tuple[Root, ...]) -> str:
+    names = sorted({value for kind, value in roots if kind in ("seconds", "producer")})
+    return ", ".join(names) if names else "tainted value"
+
+
+@register_rule
+class InterproceduralSecondsRule(ProgramRule):
+    """TIMX001: float-seconds dataflow reaching the scheduler.
+
+    Catches the flows TIM003's name heuristic cannot: a seconds value
+    renamed through a local, returned from a helper, or passed through a
+    call chain before it hits ``schedule``/``run_until``/... . Findings
+    that the lexical rules already report are skipped, so each leak is
+    reported exactly once, at the hop where it becomes invisible.
+    """
+
+    rule_id = "TIMX001"
+    title = "interprocedural float-seconds flow into the scheduler"
+    severity = Severity.ERROR
+    fix_hint = (
+        "convert at the boundary with seconds()/s_to_ns()/round() before "
+        "the value crosses a call or assignment on its way to the engine"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        analysis = analyze(program)
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for record in analysis.sinks:
+            flagged = [
+                (kind, value)
+                for kind, value in record.roots
+                if kind in ("seconds", "producer")
+            ]
+            if not flagged:
+                continue
+            if record.via is None and _contains_seconds_name(
+                _time_argument(record.call) or record.call
+            ):
+                # Lexically visible at the sink: TIM003's finding.
+                continue
+            line = getattr(record.call, "lineno", 1)
+            col = getattr(record.call, "col_offset", 0) + 1
+            key = (record.path, line, col, record.sink_name)
+            if key in seen:
+                continue
+            seen.add(key)
+            source = _describe_roots(record.roots)
+            if record.via is not None:
+                callee, param = record.via
+                message = (
+                    f"float-seconds value ({source}) passed to parameter "
+                    f"{param!r} of {callee}(), which forwards it to the "
+                    "scheduler"
+                )
+            else:
+                message = (
+                    f"float-seconds value ({source}) reaches "
+                    f"{record.sink_name}() through assignment/return flow"
+                )
+            yield self.finding_at(record.path, line, col, message)
+
+
+@register_rule
+class SecondsBoundToNsNameRule(ProgramRule):
+    """TIMX002: seconds-tainted values must not be bound to ``*_ns`` names.
+
+    A ``timeout_ns = response_timeout_s`` assignment launders a float
+    seconds value into the integer-ns naming convention; every later
+    reader (and every lexical rule) will trust the suffix.
+    """
+
+    rule_id = "TIMX002"
+    title = "float-seconds value bound to a *_ns name"
+    severity = Severity.ERROR
+    fix_hint = "convert first: timeout_ns = seconds(timeout_s) / s_to_ns(...)"
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        analysis = analyze(program)
+        seen: Set[Tuple[str, int, str]] = set()
+        for function, stmt, name, roots, path in analysis.ns_bindings:
+            line = getattr(stmt, "lineno", 1)
+            key = (path, line, name)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding_at(
+                path,
+                line,
+                getattr(stmt, "col_offset", 0) + 1,
+                f"{name!r} in {function} is assigned a float-seconds value "
+                f"({_describe_roots(roots)}) without conversion",
+            )

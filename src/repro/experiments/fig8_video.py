@@ -54,7 +54,7 @@ def _run_scenario(
         flow_id="video",
         bearer_id=1,
         bitrate_bps=bitrate_bps,
-        rng=cell.rng.stream("video"),
+        rng=cell.rng.stream("app.video.video"),
     )
     receiver = VideoReceiver(cell.sim, ue, flow_id="video")
     # Let the cell settle before streaming.

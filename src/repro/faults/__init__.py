@@ -14,7 +14,7 @@ lossy control plane. This package provides:
 * :mod:`repro.faults.campaign` — ``python -m repro chaos``.
 
 Every random draw comes from ``faults.*`` registry streams (enforced by
-slinglint rule DET005), so any (scenario, seed) pair replays to the
+slinglint's strict STREAM003 ownership), so any (scenario, seed) pair replays to the
 bit-identical trace digest.
 """
 

@@ -4,7 +4,7 @@ The injector is purely a scheduler: at arm() time it attaches
 :class:`~repro.faults.link_faults.LinkImpairment` hooks to every switch
 link whose name matches a spec, and schedules the process/clock fault
 transitions as ordinary simulator events. All randomness is drawn from
-``faults.*`` registry streams (slinglint DET005), so a plan replays
+``faults.*`` registry streams (slinglint STREAM003), so a plan replays
 bit-identically for a given cell seed.
 """
 

@@ -39,7 +39,9 @@ class ControlPlane:
     ) -> None:
         self.sim = sim
         self.name = name
-        self.rng = rng if rng is not None else RngRegistry(seed=0).stream(name)
+        self.rng = (
+            rng if rng is not None else RngRegistry(seed=0).stream(f"p4.{name}")
+        )
         self.updates_issued = 0
 
     def sample_update_latency_ns(self) -> int:

@@ -10,9 +10,29 @@ and re-running a scenario reproduces the exact same trace.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
+
+#: Optional observer invoked on every stream acquisition with
+#: ``(registry, name)``. Installed by the slinglint ``--sanitize`` pass
+#: to cross-check runtime draws against the static ownership map; it
+#: must never draw from (or otherwise perturb) the stream — with the
+#: default ``None`` the registry behaves exactly as before.
+_STREAM_OBSERVER: Optional[Callable[["RngRegistry", str], None]] = None
+
+
+def set_stream_observer(
+    observer: Optional[Callable[["RngRegistry", str], None]],
+) -> Optional[Callable[["RngRegistry", str], None]]:
+    """Install (or, with ``None``, remove) the global stream observer.
+
+    Returns the previously installed observer so callers can restore it.
+    """
+    global _STREAM_OBSERVER
+    previous = _STREAM_OBSERVER
+    _STREAM_OBSERVER = observer
+    return previous
 
 
 class BatchedUniform:
@@ -103,6 +123,8 @@ class RngRegistry:
         only, so the set or order of other streams requested does not
         affect it.
         """
+        if _STREAM_OBSERVER is not None:
+            _STREAM_OBSERVER(self, name)
         generator = self._streams.get(name)
         if generator is None:
             name_entropy = [ord(ch) for ch in name]

@@ -1,6 +1,9 @@
-"""Tier-1 gate: the tree lints clean, and the P4 verifier reproduces the
-paper's §8.6 switch-resource budget check for the 256-RU configuration."""
+"""Tier-1 gate: the tree lints clean (including the suppression audit
+and the whole-program rules), the lint pass stays inside its wall-time
+budget, and the P4 verifier reproduces the paper's §8.6 switch-resource
+budget check for the 256-RU configuration."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -40,6 +43,65 @@ class TestTreeIsClean:
         assert cli.main(["lint", str(dirty), "--format", "json"]) == 1
         out = capsys.readouterr().out
         assert "DET002" in out and "dirty.py" in out
+
+
+class TestLintSmoke:
+    """The analyzer's own health: suppression audit, runtime budget,
+    committed benchmark record, and (when available) strict typing."""
+
+    def test_strict_suppressions_clean(self):
+        findings = lint_paths([PACKAGE], strict_suppressions=True)
+        assert findings == [], "\n" + format_findings(findings)
+
+    def test_lint_wall_time_within_budget(self, tmp_path, capsys):
+        from repro.analysis.runner import LINT_BUDGET_SECONDS, main
+
+        bench = tmp_path / "bench.json"
+        code = main(
+            [str(PACKAGE), "--strict-suppressions", "--bench", str(bench)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        record = json.loads(bench.read_text())[-1]
+        assert record["benchmark"] == "slinglint"
+        assert record["findings"] == 0
+        assert record["budget_seconds"] == LINT_BUDGET_SECONDS
+        assert record["wall_seconds"] <= LINT_BUDGET_SECONDS, (
+            f"lint pass took {record['wall_seconds']}s, budget is "
+            f"{LINT_BUDGET_SECONDS}s — the analyzer has regressed"
+        )
+
+    def test_committed_bench_record(self):
+        committed = json.loads(
+            (REPO_ROOT / "benchmarks" / "BENCH_lint.json").read_text()
+        )
+        last = committed[-1]
+        assert last["benchmark"] == "slinglint"
+        assert last["findings"] == 0
+        assert last["wall_seconds"] <= last["budget_seconds"]
+
+    def test_mypy_strict_on_analysis_package(self):
+        """Gated on availability: the container may not ship mypy."""
+        api = pytest.importorskip("mypy.api")
+        out, err, code = api.run(
+            ["--strict", "--no-error-summary", str(PACKAGE / "analysis")]
+        )
+        assert code == 0, out or err
+
+
+@pytest.mark.slow
+class TestStreamSanitizer:
+    def test_golden_run_has_zero_divergence(self):
+        """Every stream drawn during the golden digest scenarios must map
+        to a static site the STREAM rules audited (ISSUE acceptance)."""
+        from repro.analysis.runner import lint_report
+        from repro.analysis.sanitize import run_sanitizer
+
+        report = lint_report([PACKAGE])
+        result = run_sanitizer(report.program)
+        assert result.divergences == [], result.summary()
+        assert len(result.draws) >= 10
+        assert result.covered_sites >= 5
 
 
 class TestSection86BudgetCheck:

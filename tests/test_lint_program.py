@@ -1,0 +1,394 @@
+"""Whole-program analysis layer: the Program model, cross-file STREAM
+ownership, the checkpointability inventory, the suppression audit, file
+discovery, and the pinned rule catalog."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.program import Program, module_name_for
+from repro.analysis.registry import LintContext, run_program_rules
+from repro.analysis.runner import (
+    LINT_BUDGET_SECONDS,
+    discover_files,
+    lint_report,
+    rule_catalog,
+)
+from repro.analysis.state_inventory import build_inventory
+from repro.analysis.streams import (
+    COMPOSITION_ROOTS,
+    NAMESPACES,
+    namespace_head,
+    ownership_map,
+    stream_sites,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+def ctx(source, path):
+    return LintContext.for_source(source, path=path)
+
+
+def program_of(*pairs):
+    return Program([ctx(source, path) for path, source in pairs])
+
+
+class TestProgramModel:
+    def test_module_naming(self):
+        assert (
+            module_name_for(ctx("x = 1\n", "src/repro/cell/deployment.py"))
+            == "repro.cell.deployment"
+        )
+        assert (
+            module_name_for(ctx("x = 1\n", "src/repro/sim/__init__.py"))
+            == "repro.sim"
+        )
+
+    def test_subsystem_and_aliases(self):
+        program = program_of(
+            (
+                "src/repro/cell/deployment.py",
+                "from repro.sim.units import run_for_ns as rfn\n"
+                "import repro.sim.engine as engine\n",
+            )
+        )
+        info = program.modules["repro.cell.deployment"]
+        assert info.subsystem == "cell"
+        assert info.aliases["rfn"] == "repro.sim.units.run_for_ns"
+        assert info.aliases["engine"] == "repro.sim.engine"
+
+    def test_bare_and_aliased_call_resolution(self):
+        program = program_of(
+            (
+                "src/repro/sim/units.py",
+                "def run_for_ns(target, duration_ns):\n    pass\n",
+            ),
+            (
+                "src/repro/experiments/demo.py",
+                "from repro.sim.units import run_for_ns\n"
+                "def go(cell):\n"
+                "    run_for_ns(cell, 5)\n",
+            ),
+        )
+        graph = program.call_graph()
+        assert graph["repro.experiments.demo.go"] == (
+            "repro.sim.units.run_for_ns",
+        )
+
+    def test_self_method_resolution_follows_bases(self):
+        program = program_of(
+            (
+                "src/repro/cell/base.py",
+                "class Base:\n"
+                "    def helper(self):\n"
+                "        pass\n",
+            ),
+            (
+                "src/repro/cell/derived.py",
+                "from repro.cell.base import Base\n"
+                "class Derived(Base):\n"
+                "    def run(self):\n"
+                "        self.helper()\n",
+            ),
+        )
+        graph = program.call_graph()
+        assert graph["repro.cell.derived.Derived.run"] == (
+            "repro.cell.base.Base.helper",
+        )
+
+    def test_constructor_resolves_to_init(self):
+        program = program_of(
+            (
+                "src/repro/apps/thing.py",
+                "class Thing:\n"
+                "    def __init__(self, x):\n"
+                "        self.x = x\n",
+            ),
+            (
+                "src/repro/experiments/use.py",
+                "from repro.apps.thing import Thing\n"
+                "def make():\n"
+                "    return Thing(1)\n",
+            ),
+        )
+        graph = program.call_graph()
+        assert graph["repro.experiments.use.make"] == (
+            "repro.apps.thing.Thing.__init__",
+        )
+
+    def test_import_graph_edges(self):
+        program = program_of(
+            ("src/repro/sim/units.py", "SECOND = 10**9\n"),
+            (
+                "src/repro/cell/deployment.py",
+                "from repro.sim.units import SECOND\n",
+            ),
+        )
+        graph = program.import_graph()
+        assert graph["repro.cell.deployment"] == ("repro.sim.units",)
+        assert graph["repro.sim.units"] == ()
+
+    def test_whole_package_program_builds(self):
+        report = lint_report([PACKAGE])
+        program = report.program
+        assert program is not None
+        assert "repro.sim.engine" in program.modules
+        assert "repro.cell.deployment" in program.modules
+        # The call graph resolves a healthy share of program calls.
+        graph = program.call_graph()
+        resolved = sum(len(callees) for callees in graph.values())
+        assert resolved > 200
+
+
+class TestStreamOwnership:
+    def test_namespace_head_heuristics(self):
+        assert namespace_head("faults.link.fh") == "faults"
+        assert namespace_head("phy3") == "phy"
+        assert namespace_head("ue12.channel") == "ue"
+        assert namespace_head("p4") == "p4"
+
+    def test_declared_namespaces_cover_real_tree(self):
+        heads = {ns.head for ns in NAMESPACES}
+        assert {"faults", "phy", "ptp", "ue", "app", "perf"} <= heads
+        assert COMPOSITION_ROOTS == {"cell", "experiments"}
+
+    def test_stream004_cross_subsystem_collision(self):
+        program = program_of(
+            (
+                "src/repro/apps/a.py",
+                'def f(rng):\n    return rng.stream("app.shared")\n',
+            ),
+            (
+                "src/repro/ue/b.py",
+                'def g(rng):\n    return rng.stream("app.shared")\n',
+            ),
+        )
+        findings = run_program_rules(program)
+        collisions = [f for f in findings if f.rule_id == "STREAM004"]
+        assert len(collisions) == 2  # one finding at each site
+        assert {f.path for f in collisions} == {
+            "src/repro/apps/a.py",
+            "src/repro/ue/b.py",
+        }
+
+    def test_stream004_private_registry_does_not_collide(self):
+        program = program_of(
+            (
+                "src/repro/apps/a.py",
+                "from repro.sim.rng import RngRegistry\n"
+                "def f():\n"
+                '    return RngRegistry(seed=0).stream("app.shared")\n',
+            ),
+            (
+                "src/repro/ue/b.py",
+                'def g(rng):\n    return rng.stream("app.shared")\n',
+            ),
+        )
+        findings = run_program_rules(program)
+        assert not [f for f in findings if f.rule_id == "STREAM004"]
+
+    def test_prefix_sites_collide_with_exact_names(self):
+        program = program_of(
+            (
+                "src/repro/apps/a.py",
+                "def f(rng, i):\n"
+                '    return rng.stream(f"app.flow{i}")\n',
+            ),
+            (
+                "src/repro/ue/b.py",
+                'def g(rng):\n    return rng.stream("app.flow3")\n',
+            ),
+        )
+        findings = run_program_rules(program)
+        assert [f for f in findings if f.rule_id == "STREAM004"]
+
+    def test_real_tree_has_no_stream_findings(self):
+        report = lint_report([PACKAGE])
+        assert not [
+            f for f in report.findings if f.rule_id.startswith("STREAM")
+        ]
+
+    def test_ownership_map_of_real_tree(self):
+        report = lint_report([PACKAGE])
+        mapping = ownership_map(report.program)
+        # Prefix sites are keyed with a trailing *.
+        assert mapping["faults.link.*"]["owner"] == "faults"
+        assert mapping["phy*"]["owner"] == "cell"
+        assert mapping["app.video.*"]["owner"] == "apps"
+        for entry in mapping.values():
+            assert entry["owner"] is not None
+
+    def test_every_real_site_is_static(self):
+        report = lint_report([PACKAGE])
+        for site in stream_sites(report.program):
+            assert site.name, f"unresolvable stream name at {site.path}:{site.line}"
+
+
+class TestStateInventory:
+    def test_inventory_is_deterministic(self):
+        report = lint_report([PACKAGE])
+        first = build_inventory(report.program)
+        second = build_inventory(lint_report([PACKAGE]).program)
+        assert first == second
+
+    def test_inventory_pinned_in_benchmarks(self):
+        pinned_path = REPO_ROOT / "benchmarks" / "state_inventory.json"
+        assert pinned_path.exists(), (
+            "benchmarks/state_inventory.json missing; regenerate with "
+            "`python -m repro lint --state-inventory "
+            "benchmarks/state_inventory.json`"
+        )
+        pinned = json.loads(pinned_path.read_text())
+        report = lint_report([PACKAGE])
+        assert build_inventory(report.program) == pinned
+
+    def test_inventory_shape(self):
+        report = lint_report([PACKAGE])
+        inventory = build_inventory(report.program)
+        totals = inventory["totals"]
+        assert totals["unregistered"] == 0
+        assert totals["checkpointable"] > 100
+        assert totals["classes"] > 30
+        engine = inventory["classes"]["repro.sim.engine.Simulator"]
+        assert engine["subsystem"] == "sim"
+        assert "_now" in engine["checkpointable"]
+        assert "_queue" in engine["checkpointable"]
+
+
+class TestStrictSuppressions:
+    def test_stale_line_directive_flagged(self):
+        from repro.analysis.runner import _run_over_contexts
+
+        context = ctx(
+            "x = 1  # slinglint: disable=DET001\n",
+            "src/repro/sim/demo.py",
+        )
+        findings = _run_over_contexts(
+            [context], strict_suppressions=True
+        ).findings
+        assert [f.rule_id for f in findings] == ["SUP001"]
+
+    def test_used_directive_not_flagged(self):
+        from repro.analysis.runner import _run_over_contexts
+
+        context = ctx(
+            "import time\n"
+            "start = time.time()  # slinglint: disable=DET001\n",
+            "src/repro/sim/demo.py",
+        )
+        findings = _run_over_contexts(
+            [context], strict_suppressions=True
+        ).findings
+        assert findings == []
+
+    def test_stale_file_directive_flagged(self):
+        from repro.analysis.runner import _run_over_contexts
+
+        context = ctx(
+            "# slinglint: disable-file=DET002\nx = 1\n",
+            "src/repro/sim/demo.py",
+        )
+        findings = _run_over_contexts(
+            [context], strict_suppressions=True
+        ).findings
+        assert [f.rule_id for f in findings] == ["SUP001"]
+        assert findings[0].line == 1
+
+    def test_program_rule_suppression_counts_as_used(self):
+        from repro.analysis.runner import _run_over_contexts
+
+        context = ctx(
+            "def f(rng, name):\n"
+            "    return rng.stream(name)  # slinglint: disable=STREAM001\n",
+            "src/repro/faults/demo.py",
+        )
+        findings = _run_over_contexts(
+            [context], strict_suppressions=True
+        ).findings
+        assert findings == []
+
+    def test_real_tree_passes_strict_suppressions(self):
+        report = lint_report([PACKAGE], strict_suppressions=True)
+        assert report.findings == []
+
+
+class TestDiscovery:
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / ".hidden" / "other.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / ".dotfile.py").write_text("x = 1\n")
+        files = discover_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_overlapping_arguments_deduplicated(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        target = tmp_path / "pkg" / "mod.py"
+        target.write_text("x = 1\n")
+        files = discover_files([tmp_path, tmp_path / "pkg", target])
+        assert len(files) == 1
+
+
+class TestRuleCatalog:
+    #: Golden catalog: (id, severity, title). Adding a rule means
+    #: extending this pin in the same change.
+    EXPECTED = [
+        ("CKPT001", "error", "mutable attribute not initialized in __init__"),
+        ("CKPT002", "warning", "stale _checkpoint_derived_ declaration"),
+        ("DET001", "error", "wall-clock read"),
+        ("DET002", "error", "stdlib random import"),
+        ("DET003", "error", "private numpy generator"),
+        ("DET004", "error", "numpy global RNG"),
+        ("EVT001", "error", "loop-variable capture in scheduled callback"),
+        ("EVT002", "warning", "zero-delay scheduling"),
+        ("OBS001", "error", "wall clock / randomness in telemetry code"),
+        ("P4R001", "error", "pipeline resource budget exceeded"),
+        ("P4R002", "error", "too many match-action tables"),
+        ("P4R003", "error", "register accessed too often in one pass"),
+        ("PAR001", "error", "shard-worker purity violation"),
+        ("PERF001", "error", "direct time.* use in perf package"),
+        ("STREAM001", "error", "stream name not statically resolvable"),
+        (
+            "STREAM002",
+            "error",
+            "stream namespace not declared in the ownership table",
+        ),
+        ("STREAM003", "error", "cross-subsystem stream draw"),
+        ("STREAM004", "error", "stream name drawn from multiple subsystems"),
+        ("SUP001", "warning", "unused suppression directive"),
+        ("TIM001", "error", "float simulated time"),
+        ("TIM002", "warning", "magic-number duration"),
+        (
+            "TIM003",
+            "error",
+            "float-seconds identifier crossing the engine boundary",
+        ),
+        (
+            "TIMX001",
+            "error",
+            "interprocedural float-seconds flow into the scheduler",
+        ),
+        ("TIMX002", "error", "float-seconds value bound to a *_ns name"),
+    ]
+
+    def test_catalog_matches_golden_list(self):
+        lines = rule_catalog().splitlines()
+        parsed = [
+            (line[:10].strip(), line[10:18].strip(), line[18:].strip())
+            for line in lines
+        ]
+        assert parsed == self.EXPECTED
+
+    def test_cli_list_rules_exit_code(self, capsys):
+        from repro.analysis.runner import main
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM001" in out and "CKPT001" in out
+
+    def test_budget_constant_sane(self):
+        assert 0 < LINT_BUDGET_SECONDS <= 60

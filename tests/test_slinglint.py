@@ -77,50 +77,83 @@ class TestDeterminismRules:
         findings = lint("def f(rng):\n    return rng.uniform(0, 1)\n")
         assert "DET004" not in rule_ids(findings)
 
-    def test_det005_namespaced_stream_allowed(self):
+
+class TestStreamRules:
+    """STREAM001-004 replace the old per-file DET005 namespace check."""
+
+    def test_stream_namespaced_draw_in_owner_allowed(self):
         findings = lint(
             'def f(rng):\n    return rng.stream("faults.link.fh")\n',
             path="src/repro/faults/injector.py",
         )
-        assert "DET005" not in rule_ids(findings)
+        assert not [r for r in rule_ids(findings) if r.startswith("STREAM")]
 
-    def test_det005_fstring_prefix_allowed(self):
+    def test_stream_fstring_prefix_allowed(self):
         findings = lint(
             "def f(rng, link):\n"
             '    return rng.stream(f"faults.link.{link.name}")\n',
             path="src/repro/faults/injector.py",
         )
-        assert "DET005" not in rule_ids(findings)
+        assert not [r for r in rule_ids(findings) if r.startswith("STREAM")]
 
-    def test_det005_foreign_namespace_flagged(self):
-        findings = lint(
-            'def f(rng):\n    return rng.stream("channel.snr")\n',
-            path="src/repro/faults/injector.py",
-        )
-        assert "DET005" in rule_ids(findings)
-
-    def test_det005_dynamic_name_flagged(self):
-        """A fully dynamic stream name can't be proven namespaced."""
+    def test_stream001_dynamic_name_flagged(self):
+        """A fully dynamic stream name can't be assigned an owner."""
         findings = lint(
             "def f(rng, name):\n    return rng.stream(name)\n",
             path="src/repro/faults/link_faults.py",
         )
-        assert "DET005" in rule_ids(findings)
+        assert "STREAM001" in rule_ids(findings)
 
-    def test_det005_fstring_without_static_prefix_flagged(self):
+    def test_stream001_fstring_without_static_prefix_flagged(self):
         findings = lint(
             "def f(rng, name):\n"
             '    return rng.stream(f"{name}.jitter")\n',
             path="src/repro/faults/injector.py",
         )
-        assert "DET005" in rule_ids(findings)
+        assert "STREAM001" in rule_ids(findings)
 
-    def test_det005_inactive_outside_faults_package(self):
+    def test_stream002_undeclared_namespace_flagged_anywhere(self):
+        """Unlike DET005, the ownership table binds every subsystem."""
+        for path in (
+            "src/repro/faults/injector.py",
+            "src/repro/phy/channel.py",
+        ):
+            findings = lint(
+                'def f(rng):\n    return rng.stream("channel.snr")\n',
+                path=path,
+            )
+            assert "STREAM002" in rule_ids(findings), path
+
+    def test_stream003_strict_namespace_owner_only(self):
+        # cell is a composition root, but faults.* is strict: only
+        # faults/ itself may draw fault-plan streams.
         findings = lint(
-            'def f(rng):\n    return rng.stream("channel.snr")\n',
-            path="src/repro/phy/channel.py",
+            'def f(rng):\n    return rng.stream("faults.link.fh")\n',
+            path="src/repro/cell/deployment.py",
         )
-        assert "DET005" not in rule_ids(findings)
+        assert "STREAM003" in rule_ids(findings)
+
+    def test_stream003_composition_root_may_wire_non_strict(self):
+        findings = lint(
+            'def f(rng):\n    return rng.stream("ue1.channel")\n',
+            path="src/repro/cell/deployment.py",
+        )
+        assert "STREAM003" not in rule_ids(findings)
+
+    def test_stream003_foreign_subsystem_draw_flagged(self):
+        findings = lint(
+            'def f(rng):\n    return rng.stream("ue1.channel")\n',
+            path="src/repro/apps/video.py",
+        )
+        assert "STREAM003" in rule_ids(findings)
+
+    def test_stream_suppressed(self):
+        findings = lint(
+            "def f(rng, name):\n"
+            "    return rng.stream(name)  # slinglint: disable=STREAM001\n",
+            path="src/repro/faults/injector.py",
+        )
+        assert "STREAM001" not in rule_ids(findings)
 
 
 class TestTimeUnitRules:
@@ -199,6 +232,199 @@ class TestTimeUnitRules:
             "    sim.schedule(delay_s, print)  # slinglint: disable=TIM003\n"
         )
         assert "TIM003" not in rule_ids(findings)
+
+
+class TestInterproceduralTaintRules:
+    """TIMX001/002: dataflow the lexical TIM rules cannot see."""
+
+    def test_timx001_renamed_local_reaches_sink(self):
+        findings = lint(
+            "def f(sim):\n"
+            "    delay_s = 0.5\n"
+            "    wait = delay_s\n"
+            "    sim.schedule(wait, print)\n"
+        )
+        assert "TIMX001" in rule_ids(findings)
+        # The lexical rule cannot see this flow.
+        assert "TIM003" not in rule_ids(findings)
+
+    def test_timx001_seconds_returned_from_helper(self):
+        findings = lint(
+            "def gap():\n"
+            "    gap_seconds = 2.5\n"
+            "    return gap_seconds\n"
+            "def f(sim):\n"
+            "    sim.schedule(gap(), print)\n"
+        )
+        assert "TIMX001" in rule_ids(findings)
+
+    def test_timx001_tainted_argument_crosses_call(self):
+        findings = lint(
+            "def helper(sim, delay):\n"
+            "    sim.schedule(delay, print)\n"
+            "def f(sim, timeout_s):\n"
+            "    helper(sim, timeout_s)\n"
+        )
+        assert "TIMX001" in rule_ids(findings)
+
+    def test_timx001_two_hop_chain(self):
+        findings = lint(
+            "def inner(sim, d):\n"
+            "    sim.schedule(d, print)\n"
+            "def middle(sim, v):\n"
+            "    inner(sim, v)\n"
+            "def f(sim):\n"
+            "    interval_s = 1.5\n"
+            "    middle(sim, interval_s)\n"
+        )
+        assert "TIMX001" in rule_ids(findings)
+
+    def test_timx001_ns_to_s_result_is_tainted(self):
+        findings = lint(
+            "from repro.sim.units import ns_to_s\n"
+            "def f(sim, t_ns):\n"
+            "    sim.schedule(ns_to_s(t_ns), print)\n"
+        )
+        assert "TIMX001" in rule_ids(findings)
+
+    def test_timx001_sanitized_flow_clean(self):
+        findings = lint(
+            "def helper(sim, delay):\n"
+            "    sim.schedule(delay, print)\n"
+            "def f(sim, timeout_s):\n"
+            "    helper(sim, int(timeout_s * 1e9))\n"
+        )
+        assert "TIMX001" not in rule_ids(findings)
+
+    def test_timx001_converted_local_clean(self):
+        findings = lint(
+            "from repro.sim.units import seconds\n"
+            "def f(sim, delay_s):\n"
+            "    wait = seconds(delay_s)\n"
+            "    sim.schedule(wait, print)\n"
+        )
+        assert "TIMX001" not in rule_ids(findings)
+
+    def test_timx001_does_not_duplicate_tim003(self):
+        findings = lint(
+            "def f(sim, duration_s):\n"
+            "    sim.run_for(duration_s)\n"
+        )
+        assert "TIM003" in rule_ids(findings)
+        assert "TIMX001" not in rule_ids(findings)
+
+    def test_timx001_suppressed(self):
+        findings = lint(
+            "def f(sim):\n"
+            "    delay_s = 0.5\n"
+            "    wait = delay_s\n"
+            "    sim.schedule(wait, print)  # slinglint: disable=TIMX001\n"
+        )
+        assert "TIMX001" not in rule_ids(findings)
+
+    def test_timx002_seconds_bound_to_ns_name(self):
+        findings = lint(
+            "def f(timeout_s):\n"
+            "    timeout_ns = timeout_s\n"
+            "    return timeout_ns\n"
+        )
+        assert "TIMX002" in rule_ids(findings)
+
+    def test_timx002_converted_binding_clean(self):
+        findings = lint(
+            "from repro.sim.units import seconds\n"
+            "def f(timeout_s):\n"
+            "    timeout_ns = seconds(timeout_s)\n"
+            "    return timeout_ns\n"
+        )
+        assert "TIMX002" not in rule_ids(findings)
+
+
+class TestCheckpointRules:
+    """CKPT001/002: the mutable-state inventory's findings."""
+
+    CELL_PATH = "src/repro/cell/widget.py"
+
+    def test_ckpt001_unregistered_attribute(self):
+        findings = lint(
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def poke(self):\n"
+            "        self.count += 1\n"
+            "        self.last_poke = 42\n",
+            path=self.CELL_PATH,
+        )
+        assert "CKPT001" in rule_ids(findings)
+
+    def test_ckpt001_initialized_attribute_clean(self):
+        findings = lint(
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def poke(self):\n"
+            "        self.count += 1\n",
+            path=self.CELL_PATH,
+        )
+        assert "CKPT001" not in rule_ids(findings)
+
+    def test_ckpt001_derived_declaration_exempts(self):
+        findings = lint(
+            "class Widget:\n"
+            '    _checkpoint_derived_ = ("last_poke",)\n'
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def poke(self):\n"
+            "        self.count += 1\n"
+            "        self.last_poke = 42\n",
+            path=self.CELL_PATH,
+        )
+        assert "CKPT001" not in rule_ids(findings)
+
+    def test_ckpt001_dataclass_fields_count_as_initialized(self):
+        findings = lint(
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Widget:\n"
+            "    count: int = 0\n"
+            "    def poke(self):\n"
+            "        self.count += 1\n",
+            path=self.CELL_PATH,
+        )
+        assert "CKPT001" not in rule_ids(findings)
+
+    def test_ckpt001_base_class_init_seen(self):
+        findings = lint(
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "class Widget(Base):\n"
+            "    def poke(self):\n"
+            "        self.count += 1\n",
+            path=self.CELL_PATH,
+        )
+        assert "CKPT001" not in rule_ids(findings)
+
+    def test_ckpt001_inactive_outside_runtime_subsystems(self):
+        findings = lint(
+            "class Widget:\n"
+            "    def poke(self):\n"
+            "        self.last_poke = 42\n",
+            path="src/repro/perf/harness.py",
+        )
+        assert "CKPT001" not in rule_ids(findings)
+
+    def test_ckpt002_stale_derived_declaration(self):
+        findings = lint(
+            "class Widget:\n"
+            '    _checkpoint_derived_ = ("ghost",)\n'
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def poke(self):\n"
+            "        self.count += 1\n",
+            path=self.CELL_PATH,
+        )
+        assert "CKPT002" in rule_ids(findings)
 
 
 class TestEventSafetyRules:
