@@ -343,6 +343,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the CKPT mutable-state inventory JSON to FILE",
     )
     parser.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="regenerate src/repro/checkpoint/manifest.py from the state "
+        "inventory (the literal CKPT003 checks against)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="run the golden scenarios with the RNG-stream recorder and "
@@ -384,6 +390,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         write_inventory(report.program, args.state_inventory)
         extra_lines.append(f"state inventory written to {args.state_inventory}")
+    if args.write_manifest and report.program is not None:
+        from repro.analysis.state_inventory import MANIFEST_MODULE, write_manifest
+
+        manifest_module = report.program.modules.get(MANIFEST_MODULE)
+        if manifest_module is None:
+            print(
+                "repro lint: --write-manifest needs the whole package "
+                f"linted (module {MANIFEST_MODULE} not in the file set)",
+                file=sys.stderr,
+            )
+            return 2
+        manifest_path = Path(manifest_module.context.path)
+        write_manifest(report.program, manifest_path)
+        extra_lines.append(f"checkpoint manifest written to {manifest_path}")
     if args.sanitize and report.program is not None:
         from repro.analysis.sanitize import run_sanitizer
 

@@ -319,6 +319,173 @@ def write_inventory(program: Program, path: Path) -> Dict[str, object]:
     return inventory
 
 
+#: Module holding the checkpoint layer's generated state manifest.
+MANIFEST_MODULE = "repro.checkpoint.manifest"
+
+#: The manifest literal's name inside that module.
+MANIFEST_NAME = "STATE_MANIFEST"
+
+_MANIFEST_HEADER = '''"""Checkpointable-state manifest (GENERATED — do not edit by hand).
+
+One entry per runtime component class that carries checkpointable
+state: ``qualname -> tuple of attribute names``. The checkpoint layer
+(:mod:`repro.checkpoint.snapshot`) walks every captured/restored object
+graph and asserts each listed instance still carries all of its listed
+attributes; lint rule CKPT003 asserts this literal matches the static
+state inventory. Regenerate with::
+
+    python -m repro lint --write-manifest
+
+after adding or removing mutable state on any runtime class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+'''
+
+
+def render_manifest(inventory: Dict[str, object]) -> str:
+    """Render the generated ``manifest.py`` source from an inventory.
+
+    Pure literal, deterministically ordered, so the module can be
+    AST-parsed by CKPT003 and diffed by git like any other contract.
+    Only classes with checkpointable attributes appear — a class whose
+    state is all derived has nothing a serializer must carry.
+    """
+    classes = inventory["classes"]
+    assert isinstance(classes, dict)
+    lines = [f"{MANIFEST_NAME}: Dict[str, Tuple[str, ...]] = {{"]
+    for qualname in sorted(classes):
+        attrs = classes[qualname]["checkpointable"]
+        if not attrs:
+            continue
+        rendered = ", ".join(repr(a) for a in sorted(attrs))
+        if len(attrs) == 1:
+            rendered += ","
+        lines.append(f"    {qualname!r}: ({rendered}),")
+    lines.append("}")
+    return _MANIFEST_HEADER + "\n".join(lines) + "\n"
+
+
+def write_manifest(program: Program, path: Path) -> None:
+    """Regenerate the checkpoint manifest module from the program."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_manifest(build_inventory(program)))
+
+
+def _parse_manifest_literal(
+    tree: ast.Module,
+) -> Optional[Tuple[Dict[str, Tuple[str, ...]], int]]:
+    """``(manifest, line)`` from the module's STATE_MANIFEST assignment."""
+    for stmt in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == MANIFEST_NAME
+                for t in stmt.targets
+            ):
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == MANIFEST_NAME
+            ):
+                value = stmt.value
+        if value is None:
+            continue
+        try:
+            literal = ast.literal_eval(value)
+        except ValueError:
+            return None
+        if not isinstance(literal, dict):
+            return None
+        return (
+            {str(k): tuple(str(a) for a in v) for k, v in literal.items()},
+            stmt.lineno,
+        )
+    return None
+
+
+@register_rule
+class ManifestDriftRule(ProgramRule):
+    """CKPT003: the checkpoint manifest must match the state inventory.
+
+    The manifest literal in :data:`MANIFEST_MODULE` is what the
+    checkpoint serializers actually verify against at capture/restore
+    time; the state inventory is what the source tree actually carries.
+    Any divergence — a class gaining or losing checkpointable
+    attributes, a new stateful class missing entirely, a stale entry for
+    a deleted class — means checkpoints are silently under- or
+    over-specified. Regenerate with ``python -m repro lint
+    --write-manifest``.
+
+    Skipped when the linted file set does not include the manifest
+    module (per-file invocations); the whole-package tier-1 lint always
+    does.
+    """
+
+    rule_id = "CKPT003"
+    title = "checkpoint manifest out of sync with state inventory"
+    severity = Severity.ERROR
+    fix_hint = (
+        "regenerate src/repro/checkpoint/manifest.py with "
+        "`python -m repro lint --write-manifest`"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        module = program.modules.get(MANIFEST_MODULE)
+        if module is None:
+            return
+        path = module.context.path
+        parsed = _parse_manifest_literal(module.context.tree)
+        if parsed is None:
+            yield self.finding_at(
+                path,
+                1,
+                1,
+                f"{MANIFEST_MODULE} must assign {MANIFEST_NAME} a pure "
+                "dict literal of qualname -> attribute tuples",
+            )
+            return
+        manifest, line = parsed
+        classes = build_inventory(program)["classes"]
+        assert isinstance(classes, dict)
+        expected = {
+            qualname: tuple(sorted(entry["checkpointable"]))
+            for qualname, entry in classes.items()
+            if entry["checkpointable"]
+        }
+        for qualname in sorted(set(expected) - set(manifest)):
+            yield self.finding_at(
+                path,
+                line,
+                1,
+                f"manifest is missing {qualname} "
+                f"(checkpointable: {', '.join(expected[qualname])})",
+            )
+        for qualname in sorted(set(manifest) - set(expected)):
+            yield self.finding_at(
+                path,
+                line,
+                1,
+                f"manifest lists {qualname}, which has no checkpointable "
+                "state in the inventory",
+            )
+        for qualname in sorted(set(manifest) & set(expected)):
+            if tuple(sorted(manifest[qualname])) != expected[qualname]:
+                yield self.finding_at(
+                    path,
+                    line,
+                    1,
+                    f"manifest attrs for {qualname} "
+                    f"({', '.join(sorted(manifest[qualname]))}) != inventory "
+                    f"({', '.join(expected[qualname])})",
+                )
+
+
 @register_rule
 class UnregisteredStateRule(ProgramRule):
     """CKPT001: runtime state must exist from construction.

@@ -1,0 +1,64 @@
+"""Picklable application wiring callables.
+
+Application flows attach themselves to a cell through small callbacks: a
+``transmit`` callable pushing packets into a UE bearer, and a UE
+``dl_sink`` dispatcher routing one flow's downlink SDUs to its receiver
+while chaining everything else to whatever sink was installed before.
+These used to be closures; the checkpoint subsystem snapshots whole
+cells by pickling the object graph, and closures cannot be pickled — so
+the wirings live here as plain callable classes instead. Behaviour is
+identical: each instance carries exactly the objects the old closure
+captured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.transport.packet import Packet
+
+
+class UplinkTransmit:
+    """``transmit(packet)`` callback: send on one UE bearer.
+
+    Equivalent to ``lambda p: ue.send_uplink(bearer_id, p, p.size_bytes)``
+    but picklable.
+    """
+
+    __slots__ = ("ue", "bearer_id")
+
+    def __init__(self, ue: Any, bearer_id: int) -> None:
+        self.ue = ue
+        self.bearer_id = bearer_id
+
+    def __call__(self, packet: Packet) -> bool:
+        return bool(
+            self.ue.send_uplink(self.bearer_id, packet, packet.size_bytes)
+        )
+
+
+class FlowDispatch:
+    """UE ``dl_sink`` dispatcher: route one flow, chain the rest.
+
+    Packets of ``flow_id`` go to ``deliver(packet)``; everything else
+    falls through to the previously installed sink (building a chain as
+    flows stack up on one UE).
+    """
+
+    __slots__ = ("flow_id", "deliver", "previous")
+
+    def __init__(
+        self,
+        flow_id: str,
+        deliver: Callable[[Packet], None],
+        previous: Optional[Callable[[int, Any], None]],
+    ) -> None:
+        self.flow_id = flow_id
+        self.deliver = deliver
+        self.previous = previous
+
+    def __call__(self, bearer_id: int, sdu: Any) -> None:
+        if isinstance(sdu, Packet) and sdu.flow_id == self.flow_id:
+            self.deliver(sdu)
+        elif self.previous is not None:
+            self.previous(bearer_id, sdu)

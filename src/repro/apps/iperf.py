@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.apps.dispatch import FlowDispatch, UplinkTransmit
 from repro.corenet.server import AppServer
 from repro.sim.engine import Simulator
 from repro.sim.units import MS
@@ -44,15 +45,7 @@ class UdpIperfDownlink:
             bitrate_bps=bitrate_bps,
             packet_bytes=packet_bytes,
         )
-        previous_sink = ue.dl_sink
-
-        def dispatch(dl_bearer_id: int, sdu) -> None:
-            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
-                self.sink.on_packet(sdu)
-            elif previous_sink is not None:
-                previous_sink(dl_bearer_id, sdu)
-
-        ue.dl_sink = dispatch
+        ue.dl_sink = FlowDispatch(flow_id, self.sink.on_packet, ue.dl_sink)
 
     def start(self) -> None:
         self.sender.start()
@@ -82,7 +75,7 @@ class UdpIperfUplink:
             ue.ue_id,
             bearer_id,
             FlowDirection.UPLINK,
-            transmit=lambda p: ue.send_uplink(bearer_id, p, p.size_bytes),
+            transmit=UplinkTransmit(ue, bearer_id),
             bitrate_bps=bitrate_bps,
             packet_bytes=packet_bytes,
         )
@@ -123,20 +116,15 @@ class TcpIperfDownlink:
             ue.ue_id,
             bearer_id,
             ack_direction=FlowDirection.UPLINK,
-            transmit_ack=lambda p: ue.send_uplink(bearer_id, p, p.size_bytes),
+            transmit_ack=UplinkTransmit(ue, bearer_id),
             bin_ns=bin_ns,
         )
-        previous_sink = ue.dl_sink
-
-        def dispatch(dl_bearer_id: int, sdu) -> None:
-            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
-                if isinstance(sdu.payload, TcpSegment):
-                    self.receiver.on_segment(sdu.payload)
-            elif previous_sink is not None:
-                previous_sink(dl_bearer_id, sdu)
-
-        ue.dl_sink = dispatch
+        ue.dl_sink = FlowDispatch(flow_id, self._on_dl_packet, ue.dl_sink)
         server.register_flow(flow_id, self._on_server_packet)
+
+    def _on_dl_packet(self, packet: Packet) -> None:
+        if isinstance(packet.payload, TcpSegment):
+            self.receiver.on_segment(packet.payload)
 
     def _on_server_packet(self, packet: Packet) -> None:
         if isinstance(packet.payload, TcpSegment):
@@ -168,7 +156,7 @@ class TcpIperfUplink:
             ue.ue_id,
             bearer_id,
             FlowDirection.UPLINK,
-            transmit=lambda p: ue.send_uplink(bearer_id, p, p.size_bytes),
+            transmit=UplinkTransmit(ue, bearer_id),
             config=config,
         )
         self.receiver = TcpReceiver(
@@ -185,16 +173,11 @@ class TcpIperfUplink:
         self._flow_id = flow_id
         server.register_flow(flow_id, self._on_server_packet)
         self._server = server
-        previous_sink = ue.dl_sink
+        ue.dl_sink = FlowDispatch(flow_id, self._on_dl_ack, ue.dl_sink)
 
-        def dispatch(dl_bearer_id: int, sdu) -> None:
-            if isinstance(sdu, Packet) and sdu.flow_id == flow_id:
-                if isinstance(sdu.payload, TcpSegment):
-                    self.sender.on_ack(sdu.payload)
-            elif previous_sink is not None:
-                previous_sink(dl_bearer_id, sdu)
-
-        ue.dl_sink = dispatch
+    def _on_dl_ack(self, packet: Packet) -> None:
+        if isinstance(packet.payload, TcpSegment):
+            self.sender.on_ack(packet.payload)
 
     def _send_ack_downlink(self, packet: Packet) -> None:
         if self._server is not None:

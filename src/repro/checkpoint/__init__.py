@@ -1,0 +1,36 @@
+"""Digest-verified checkpoint/restore for whole simulator graphs.
+
+The checkpoint subsystem snapshots a *root object* — a
+:class:`~repro.faults.campaign.ProbeHarness`, a
+:class:`~repro.faults.soak.SoakState`, any picklable graph holding one
+:class:`~repro.sim.engine.Simulator` — and restores it into a new
+process such that continuing the restored run replays **bit-identically**
+(canonical trace digest) to the uninterrupted original. Three layers
+keep that promise honest:
+
+* :mod:`repro.checkpoint.manifest` — a generated literal of every
+  runtime class's checkpointable attributes, diffed against the static
+  state inventory by lint rule CKPT003 so serializer drift fails tier-1;
+* :mod:`repro.checkpoint.snapshot` — capture/restore plus a graph walk
+  verifying each snapshotted instance against the manifest;
+* :mod:`repro.checkpoint.soak` / :mod:`repro.checkpoint.fork` — the
+  continuous-operation harness (``python -m repro soak``): long-horizon
+  runs with background chaos, bounded-memory rolling trace digests,
+  crash-resume, and forking one warm checkpoint into many chaos futures.
+"""
+
+from repro.checkpoint.snapshot import (
+    Checkpoint,
+    CheckpointMeta,
+    SnapshotError,
+    SnapshotRegistry,
+    iter_object_graph,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointMeta",
+    "SnapshotError",
+    "SnapshotRegistry",
+    "iter_object_graph",
+]

@@ -1,0 +1,474 @@
+"""Continuous-operation soak harness + ``python -m repro soak`` CLI.
+
+A soak run drives one cell for a long horizon with background chaos
+(:mod:`repro.faults.soak`), under the constraints a real continuously
+operating deployment imposes:
+
+* **bounded memory** — the trace keeps only recent windows; the rolling
+  digest chain (:meth:`~repro.sim.trace.TraceRecorder.rolling_digest`)
+  survives eviction and still equals the full-trace digest;
+* **periodic checkpoints** — every ``checkpoint_every_ns`` the whole
+  :class:`~repro.faults.soak.SoakState` graph is captured, verified
+  against the state manifest, and written to disk (older checkpoints
+  pruned);
+* **crash-resume** — ``--resume FILE`` restores a checkpoint and
+  finishes the horizon; the resumed run's rolling digest must equal the
+  uninterrupted run's, and the recorded baseline pins both;
+* **scenario forking** — one warm checkpoint branches into the whole
+  chaos matrix (:mod:`repro.checkpoint.fork`), digest-identical to cold
+  runs and faster than rebuilding each (the recorded speedup is the
+  BENCH's headline number).
+
+``python -m repro soak`` records ``benchmarks/BENCH_soak.json``;
+``--check [--quick]`` reruns deterministically and gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.fork import forked_sweep
+from repro.checkpoint.snapshot import Checkpoint
+from repro.faults.soak import (
+    SoakConfig,
+    SoakState,
+    build_soak_state,
+    drive_soak_to,
+    plan_summary,
+)
+from repro.perf.timing import wall_ns
+from repro.sim.units import MS
+
+#: Checkpoints kept on disk during a soak (older boundaries pruned).
+KEEP_CHECKPOINTS = 3
+
+#: Recorded-speedup floor the ``--check`` gate enforces for the forked
+#: sweep (vs the cold sweep at the same --jobs).
+FORK_SPEEDUP_FLOOR = 1.5
+
+#: Scenario subset the quick profile forks (shares one warm base, so
+#: the digest-identity property gets exercised end to end cheaply).
+QUICK_FORK_SCENARIOS = ("fh_loss", "crash", "crash_restart", "cmd_drop")
+
+#: The two recorded baseline profiles.
+PROFILES: Dict[str, SoakConfig] = {
+    "quick": SoakConfig(seed=1, horizon_ns=1_500 * MS),
+    "full": SoakConfig(seed=1, horizon_ns=3_000 * MS),
+}
+
+
+def _checkpoint_boundaries(config: SoakConfig, after_ns: int) -> List[int]:
+    """Absolute checkpoint times in ``(after_ns, horizon_ns]``.
+
+    Derived from the config alone, so an interrupted run resumed from
+    any checkpoint walks the identical boundary schedule.
+    """
+    boundaries = []
+    t = config.checkpoint_every_ns
+    while t <= config.horizon_ns:
+        if t > after_ns:
+            boundaries.append(t)
+        t += config.checkpoint_every_ns
+    return boundaries
+
+
+def run_soak(
+    config: Optional[SoakConfig] = None,
+    checkpoint_dir: Optional[Path] = None,
+    resume: Optional[Path] = None,
+    keep: int = KEEP_CHECKPOINTS,
+) -> Tuple[SoakState, Dict[str, Any], List[Tuple[int, Path]]]:
+    """Run (or resume) one soak; returns (state, summary, checkpoints).
+
+    With ``resume`` the config travels inside the restored state and
+    ``config`` must be None. At every boundary the trace evicts all
+    complete digest windows behind it and (when ``checkpoint_dir`` is
+    set) a verified checkpoint is written; only the last ``keep``
+    boundary checkpoints stay on disk.
+    """
+    if resume is not None:
+        if config is not None:
+            raise ValueError("pass either config or resume, not both")
+        restored = Checkpoint.load(resume).restore()
+        if not isinstance(restored, SoakState):
+            raise TypeError(f"{resume} is not a soak checkpoint")
+        state = restored
+        config = state.config
+        resumed_from: Optional[int] = state.cell.sim.now
+    else:
+        if config is None:
+            config = PROFILES["full"]
+        state = build_soak_state(config)
+        resumed_from = None
+    written: List[Tuple[int, Path]] = []
+    for boundary in _checkpoint_boundaries(config, state.cell.sim.now):
+        drive_soak_to(state, boundary)
+        state.cell.trace.evict_before(boundary)
+        if checkpoint_dir is not None:
+            path = Path(checkpoint_dir) / (
+                f"soak_s{config.seed}_t{boundary}.ckpt"
+            )
+            Checkpoint.capture(
+                state, label=f"soak seed={config.seed} t={boundary}"
+            ).save(path)
+            written.append((boundary, path))
+            while len(written) > keep:
+                _, stale = written.pop(0)
+                stale.unlink(missing_ok=True)
+    if state.cell.sim.now < config.horizon_ns:
+        drive_soak_to(state, config.horizon_ns)
+    summary = {
+        "seed": config.seed,
+        "horizon_ns": config.horizon_ns,
+        "window_ns": config.window_ns,
+        "checkpoint_every_ns": config.checkpoint_every_ns,
+        "rolling_digest": state.cell.trace.rolling_digest(),
+        "events_processed": state.cell.sim.events_processed,
+        "evicted_events": state.cell.trace.evicted_events,
+        "retained_events": len(state.cell.trace),
+        "probe_deliveries": state.monitor.deliveries,
+        "max_probe_gap_ms": round(state.monitor.max_gap_ns / 1e6, 3),
+        "checkpoints_written": len(written),
+        "resumed_from_ns": resumed_from,
+        "plan": plan_summary(state.injector.plan),
+    }
+    return state, summary, written
+
+
+def _verify_resume(
+    written: Sequence[Tuple[int, Path]], expected_digest: str
+) -> Dict[str, Any]:
+    """Resume from the earliest retained checkpoint and re-finish.
+
+    The resumed run must reproduce the uninterrupted run's rolling
+    digest exactly — mid-horizon state, in-flight faults, evicted
+    windows, and the gap monitor all restored bit-for-bit.
+    """
+    boundary, path = written[0]
+    _, summary, _ = run_soak(resume=path)
+    return {
+        "resumed_from_ns": boundary,
+        "rolling_digest": summary["rolling_digest"],
+        "digest_matched": summary["rolling_digest"] == expected_digest,
+        "max_probe_gap_ms": summary["max_probe_gap_ms"],
+    }
+
+
+def _chaos_baseline_digests() -> Dict[Tuple[str, int], str]:
+    from repro.faults.campaign import default_bench_path
+
+    path = default_bench_path()
+    if not path.exists():
+        return {}
+    return {
+        (entry["scenario"], entry["seed"]): entry["digest"]
+        for entry in json.loads(path.read_text()).get("runs", [])
+    }
+
+
+#: Seeds the full profile's fork/cold comparison sweeps. Two seeds
+#: double the branches per warm base, which is exactly the regime
+#: forking exists for (many futures off one warm past).
+FULL_FORK_SEEDS = (1, 2)
+
+
+def _fork_section(
+    quick: bool,
+    jobs: int,
+    checkpoint_dir: Path,
+    measure_speedup: bool,
+    seeds: Sequence[int] = (1,),
+) -> Dict[str, Any]:
+    """Forked sweep vs chaos baseline, optionally timed against cold.
+
+    The speedup compares, at the same ``jobs``, a cold sweep (every
+    (scenario, seed) rebuilt from scratch) against a forked sweep
+    branching from **existing** warm-base checkpoints — the steady
+    state of a continuously operating deployment, where warm
+    checkpoints are already on disk (the soak writes them
+    continuously). The one-time base construction is timed and
+    reported separately (``base_build_wall_seconds``); it is amortized
+    across every subsequent sweep that reuses the bases.
+    """
+    from repro.checkpoint.fork import ensure_fork_bases
+    from repro.faults.campaign import run_campaign
+    from repro.faults.scenarios import scenario_by_name, standard_scenarios
+
+    if quick:
+        catalog = scenario_by_name()
+        scenarios = [catalog[name] for name in QUICK_FORK_SCENARIOS]
+    else:
+        scenarios = list(standard_scenarios())
+    started = wall_ns()
+    ensure_fork_bases(scenarios, seeds, checkpoint_dir, jobs=jobs)
+    base_build_wall = (wall_ns() - started) / 1e9
+    started = wall_ns()
+    report, fork_info = forked_sweep(
+        scenarios, seeds=seeds, checkpoint_dir=checkpoint_dir, jobs=jobs
+    )
+    forked_wall = (wall_ns() - started) / 1e9
+    baseline = _chaos_baseline_digests()
+    mismatched = [
+        f"{run.scenario}/seed={run.seed}"
+        for run in report.runs
+        if baseline.get((run.scenario, run.seed)) != run.digest
+    ]
+    section: Dict[str, Any] = {
+        "scenarios": [s.name for s in scenarios],
+        "seeds": list(seeds),
+        "jobs": jobs,
+        "runs_total": len(report.runs),
+        "all_passed": all(run.passed for run in report.runs),
+        "digests_matched_chaos_baseline": not mismatched,
+        "mismatched": mismatched,
+        "base_build_wall_seconds": round(base_build_wall, 3),
+        "forked_wall_seconds": round(forked_wall, 3),
+        **fork_info,
+    }
+    if measure_speedup:
+        started = wall_ns()
+        cold = run_campaign(scenarios, seeds=seeds, replay=False, jobs=jobs)
+        cold_wall = (wall_ns() - started) / 1e9
+        cold_mismatch = [
+            f"{run.scenario}/seed={run.seed}"
+            for run in cold.runs
+            if baseline.get((run.scenario, run.seed)) != run.digest
+        ]
+        section["cold_wall_seconds"] = round(cold_wall, 3)
+        section["cold_digests_matched"] = not cold_mismatch
+        section["speedup"] = (
+            round(cold_wall / forked_wall, 3) if forked_wall > 0 else None
+        )
+    return section
+
+
+def run_profile(
+    profile: str, jobs: int, measure_speedup: bool
+) -> Dict[str, Any]:
+    """One recorded-baseline profile: soak + resume + forked sweep."""
+    config = PROFILES[profile]
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+        tmp_path = Path(tmp)
+        _, soak, written = run_soak(config, checkpoint_dir=tmp_path / "soak")
+        resume = _verify_resume(written, soak["rolling_digest"])
+        fork = _fork_section(
+            quick=(profile == "quick"),
+            jobs=jobs,
+            checkpoint_dir=tmp_path / "fork",
+            measure_speedup=measure_speedup,
+            seeds=(1,) if profile == "quick" else FULL_FORK_SEEDS,
+        )
+    return {"soak": soak, "resume": resume, "fork": fork}
+
+
+def profile_passed(section: Dict[str, Any]) -> bool:
+    return bool(
+        section["resume"]["digest_matched"]
+        and section["fork"]["all_passed"]
+        and section["fork"]["digests_matched_chaos_baseline"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment registry surface (python -m repro all / list)
+# ----------------------------------------------------------------------
+def run(horizon_s: float = 3.0, seed: int = 1, jobs: int = 1) -> Dict[str, Any]:
+    """Experiment entrypoint: soak + crash-resume digest verification."""
+    # At least two checkpoint intervals, so there is a boundary to
+    # resume from and meaningful trace eviction behind it.
+    config = SoakConfig(seed=seed, horizon_ns=max(int(horizon_s * 1e9), 1_000 * MS))
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+        _, soak, written = run_soak(config, checkpoint_dir=Path(tmp))
+        resume = _verify_resume(written, soak["rolling_digest"])
+    return {"soak": soak, "resume": resume, "jobs": jobs}
+
+
+def summarize(result: Dict[str, Any]) -> str:
+    soak = result["soak"]
+    resume = result["resume"]
+    plan = soak["plan"]
+    lines = [
+        f"soak: {soak['horizon_ns'] / 1e9:.1f} s horizon, seed {soak['seed']}",
+        f"  background faults: {plan['faults_total']} ({plan['by_kind']})",
+        f"  probe deliveries:  {soak['probe_deliveries']} "
+        f"(max gap {soak['max_probe_gap_ms']:.2f} ms)",
+        f"  trace: {soak['events_processed']} events, "
+        f"{soak['evicted_events']} evicted, "
+        f"{soak['retained_events']} retained",
+        f"  rolling digest:    {soak['rolling_digest'][:16]}...",
+        f"  crash-resume from {resume['resumed_from_ns'] / 1e6:.0f} ms: "
+        + ("digest MATCHED" if resume["digest_matched"] else "digest MISMATCH"),
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI (python -m repro soak)
+# ----------------------------------------------------------------------
+def default_bench_path() -> Path:
+    """Repo-local baseline location: ``benchmarks/BENCH_soak.json``."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_soak.json"
+
+
+def check_against_baseline(
+    fresh: Dict[str, Any], profile: str, baseline_path: Path
+) -> List[str]:
+    """Gate a fresh profile run against the recorded baseline.
+
+    Deterministic fields (digests, verdicts) must match exactly; the
+    recorded **full**-profile fork speedup must clear
+    :data:`FORK_SPEEDUP_FLOOR` (wall times are machine facts, so the
+    gate trusts the recorded measurement rather than re-timing).
+    """
+    failures: List[str] = []
+    if not baseline_path.exists():
+        return [f"baseline {baseline_path} does not exist (record it first)"]
+    recorded_all = json.loads(baseline_path.read_text())
+    recorded = recorded_all.get("profiles", {}).get(profile)
+    if recorded is None:
+        return [f"baseline has no {profile!r} profile (re-record it)"]
+    for key in ("rolling_digest", "events_processed", "probe_deliveries"):
+        if fresh["soak"][key] != recorded["soak"][key]:
+            failures.append(
+                f"soak.{key}: {fresh['soak'][key]!r} != recorded "
+                f"{recorded['soak'][key]!r}"
+            )
+    if not fresh["resume"]["digest_matched"]:
+        failures.append("crash-resume digest did not match the soak digest")
+    if fresh["resume"]["rolling_digest"] != recorded["resume"]["rolling_digest"]:
+        failures.append("resume digest differs from recorded baseline")
+    if not fresh["fork"]["digests_matched_chaos_baseline"]:
+        failures.append(
+            "forked sweep digests diverged from BENCH_chaos: "
+            + ", ".join(fresh["fork"]["mismatched"])
+        )
+    if not fresh["fork"]["all_passed"]:
+        failures.append("forked sweep had failing scenario runs")
+    full = recorded_all.get("profiles", {}).get("full", {})
+    speedup = full.get("fork", {}).get("speedup")
+    if speedup is None:
+        failures.append("baseline records no full-profile fork speedup")
+    elif speedup < FORK_SPEEDUP_FLOOR:
+        failures.append(
+            f"recorded fork speedup {speedup}x below the "
+            f"{FORK_SPEEDUP_FLOOR}x floor"
+        )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.cliopts import harness_options, resolve_jobs
+
+    parser = argparse.ArgumentParser(
+        prog="repro soak",
+        description="Continuous-operation soak: background chaos, rolling "
+        "digests, checkpoint/resume, and scenario forking.",
+        parents=[harness_options()],
+    )
+    parser.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="CKPT",
+        help="restore this checkpoint and finish its horizon",
+    )
+    parser.add_argument(
+        "--ckpt-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for periodic checkpoints (default: temporary)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="soak seed (default: 1)"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        metavar="S",
+        help="simulated seconds (default: profile-specific)",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    jobs = resolve_jobs(args.jobs, "repro soak")
+    if jobs is None:
+        return 2
+
+    if args.resume is not None:
+        _, summary, _ = run_soak(
+            resume=args.resume, checkpoint_dir=args.ckpt_dir
+        )
+        print(
+            f"resumed from {summary['resumed_from_ns'] / 1e6:.0f} ms, "
+            f"finished at {summary['horizon_ns'] / 1e6:.0f} ms"
+        )
+        print(f"rolling digest: {summary['rolling_digest']}")
+        return 0
+
+    if args.check:
+        profile = "quick" if args.quick else "full"
+        fresh = run_profile(profile, jobs=jobs, measure_speedup=False)
+        failures = check_against_baseline(
+            fresh,
+            profile,
+            args.out if args.out is not None else default_bench_path(),
+        )
+        if failures:
+            print(f"soak check FAILED ({len(failures)} mismatch(es)):")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"soak check passed ({profile} profile, "
+            f"digest {fresh['soak']['rolling_digest'][:12]}...)"
+        )
+        return 0
+
+    if args.horizon is not None or args.seed != 1:
+        # One-off run (not the recorded baseline shape).
+        config = SoakConfig(
+            seed=args.seed,
+            horizon_ns=int((args.horizon or 3.0) * 1e9),
+        )
+        ckpt_dir = args.ckpt_dir
+        if ckpt_dir is None:
+            with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+                _, summary, written = run_soak(config, checkpoint_dir=Path(tmp))
+                resume = _verify_resume(written, summary["rolling_digest"])
+        else:
+            _, summary, written = run_soak(config, checkpoint_dir=ckpt_dir)
+            resume = _verify_resume(written, summary["rolling_digest"])
+        print(summarize({"soak": summary, "resume": resume, "jobs": jobs}))
+        return 0 if resume["digest_matched"] else 1
+
+    report = {
+        "benchmark": "soak",
+        "profiles": {
+            "quick": run_profile("quick", jobs=jobs, measure_speedup=False),
+            "full": run_profile("full", jobs=jobs, measure_speedup=True),
+        },
+    }
+    passed = all(profile_passed(p) for p in report["profiles"].values())
+    out = args.out if args.out is not None else default_bench_path()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    full_fork = report["profiles"]["full"]["fork"]
+    print(
+        f"soak baseline written to {out}\n"
+        f"  fork speedup: {full_fork.get('speedup')}x "
+        f"(cold {full_fork.get('cold_wall_seconds')}s vs "
+        f"forked {full_fork.get('forked_wall_seconds')}s at jobs={jobs})"
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,6 +12,7 @@ Usage::
     python -m repro chaos [--scenario NAME ...] [--seeds 1 2 3] [--jobs N]
     python -m repro perf [--quick] [--check] [--jobs N]
     python -m repro telemetry [--quick] [--check] [--jobs N]
+    python -m repro soak [--check --quick] [--resume CKPT] [--jobs N]
 
 Every experiment subcommand is derived from the
 :data:`repro.experiments.REGISTRY` — the registry entry supplies the
@@ -38,7 +39,7 @@ from repro.experiments import REGISTRY, ExperimentSpec
 
 #: Harness verbs dispatched to their own sub-CLIs before experiment
 #: argument parsing (name -> lazy main import).
-_HARNESS_VERBS = ("lint", "chaos", "perf", "telemetry")
+_HARNESS_VERBS = ("lint", "chaos", "perf", "telemetry", "soak")
 
 
 def _registry_runner(spec: ExperimentSpec) -> Callable:
@@ -136,6 +137,10 @@ def _dispatch_harness(verb: str, argv: List[str]) -> int:
         from repro.perf import runner as perf_runner
 
         return perf_runner.main(argv)
+    if verb == "soak":
+        from repro.checkpoint import soak as soak_harness
+
+        return soak_harness.main(argv)
     from repro.telemetry import runner as telemetry_runner
 
     return telemetry_runner.main(argv)
@@ -154,6 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  chaos   fault-injection campaign with recovery invariants")
         print("  perf    micro/macro benchmark harness with --check gate")
         print("  telemetry  instrumented failover metrics + timelines")
+        print("  soak    continuous-operation run: checkpoints, resume, forking")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

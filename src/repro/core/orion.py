@@ -141,8 +141,15 @@ class _ServiceQueue:
         self.depth = 0
         self.max_depth = 0
 
-    def submit(self, size_bytes: int, action: Callable[[], None]) -> int:
-        """Queue one message; returns its completion time."""
+    def submit(
+        self, size_bytes: int, action: Callable[..., None], *args: Any
+    ) -> int:
+        """Queue one message; returns its completion time.
+
+        ``action(*args)`` runs at completion. The action is carried as a
+        (callable, args) pair on a bound-method event — not a closure —
+        so an in-flight queue survives a checkpoint pickle.
+        """
         service = self.config.service_base_ns + round(
             size_bytes * self.config.service_per_byte_ns
         )
@@ -151,13 +158,12 @@ class _ServiceQueue:
         self._busy_until = done
         self.depth += 1
         self.max_depth = max(self.max_depth, self.depth)
-
-        def _complete() -> None:
-            self.depth -= 1
-            action()
-
-        self.sim.at(done, _complete, label=f"{self.name}.service")
+        self.sim.at(done, self._complete, action, args, label=f"{self.name}.service")
         return done
+
+    def _complete(self, action: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self.depth -= 1
+        action(*args)
 
 
 @dataclass
@@ -245,7 +251,7 @@ class PhySideOrion(Process):
         if not isinstance(payload, OrionDatagram):
             return
         self.stats.messages_relayed += 1
-        self._queue.submit(payload.wire_bytes, lambda: self._to_phy(payload.message))
+        self._queue.submit(payload.wire_bytes, self._to_phy, payload.message)
 
     def _to_phy(self, message: FapiMessage) -> None:
         if self.shm_to_phy is None:
@@ -333,7 +339,7 @@ class PhySideOrion(Process):
         datagram = OrionDatagram(message=message, phy_id=self.phy_id, is_response=True)
         self.stats.messages_relayed += 1
         self.stats.bytes_on_wire += datagram.wire_bytes
-        self._queue.submit(datagram.wire_bytes, lambda: self._to_network(datagram))
+        self._queue.submit(datagram.wire_bytes, self._to_network, datagram)
 
     def _to_network(self, datagram: OrionDatagram) -> None:
         if self.uplink is None or self.l2_orion_mac is None:
@@ -410,7 +416,7 @@ class L2SideOrion(Process):
         if assignment is None:
             return
         size = wire_size(message)
-        self._queue.submit(size, lambda: self._route_request(assignment, message))
+        self._queue.submit(size, self._route_request, assignment, message)
 
     def _route_request(self, assignment: CellAssignment, message: FapiMessage) -> None:
         if isinstance(message, ConfigRequest):
@@ -498,7 +504,7 @@ class L2SideOrion(Process):
             return
         if not isinstance(payload, OrionDatagram):
             return
-        self._queue.submit(payload.wire_bytes, lambda: self._route_response(payload))
+        self._queue.submit(payload.wire_bytes, self._route_response, payload)
 
     def _route_response(self, datagram: OrionDatagram) -> None:
         message = datagram.message

@@ -25,10 +25,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.apps.dispatch import UplinkTransmit
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import PROBE_RX, RecoveryInvariants
+from repro.faults.plan import FaultPlan
 from repro.faults.scenarios import (
     ChaosScenario,
     MEASURE_END_NS,
@@ -125,16 +127,63 @@ class CampaignReport:
         return data
 
 
-def _execute(scenario: ChaosScenario, seed: int):
-    """Build, arm, probe, and run one scenario; returns (cell, injector)."""
+class ProbeTap:
+    """Server-side probe sink: trace ``PROBE_RX`` then deliver.
+
+    A plain callable class (not a closure) so a probed cell's whole
+    object graph stays picklable for checkpoint/restore.
+    """
+
+    __slots__ = ("cell", "sink")
+
+    def __init__(self, cell, sink: UdpSink) -> None:
+        self.cell = cell
+        self.sink = sink
+
+    def __call__(self, packet: Packet) -> None:
+        self.cell.trace.record(self.cell.sim.now, PROBE_RX, seq=packet.seq)
+        self.sink.on_packet(packet)
+
+
+@dataclass
+class ProbeHarness:
+    """One probed cell plus its probe endpoints — the checkpoint root.
+
+    Everything a paused scenario execution needs to resume lives here:
+    the cell (simulator, trace, RNG registry, every component), the
+    armed injector (None until a plan is armed — warm fork bases are
+    built unarmed), and the probe sender/sink. ``probe_started`` makes
+    :func:`drive_to` idempotent across checkpoint/restore boundaries.
+    """
+
+    cell: Any
+    injector: Optional[FaultInjector]
+    sender: UdpSender
+    sink: UdpSink
+    seed: int
+    probe_started: bool = False
+
+
+def build_probe_harness(
+    seed: int, num_phy_servers: int = 2, plan: Optional[FaultPlan] = None
+) -> ProbeHarness:
+    """Build one probed cell; arm ``plan`` against it when given.
+
+    With ``plan=None`` the harness is a scenario-independent warm base:
+    :func:`arm_plan` attaches a fault plan later (scenario forking), and
+    because every fault draws from its own named ``faults.*`` stream,
+    late arming consumes exactly the draws an at-build arm would have.
+    """
     config = CellConfig(
         seed=seed,
-        num_phy_servers=scenario.num_phy_servers,
+        num_phy_servers=num_phy_servers,
         ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
     )
     cell = build_slingshot_cell(config)
-    injector = FaultInjector(cell, scenario.plan)
-    injector.arm()
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(cell, plan)
+        injector.arm()
 
     # App-level probe flow (uplink UDP): the downtime metric is the gap
     # between deliveries at the server-side sink, recorded as trace
@@ -147,27 +196,63 @@ def _execute(scenario: ChaosScenario, seed: int):
         ue.ue_id,
         PROBE_BEARER_ID,
         FlowDirection.UPLINK,
-        transmit=lambda p: ue.send_uplink(PROBE_BEARER_ID, p, p.size_bytes),
+        transmit=UplinkTransmit(ue, PROBE_BEARER_ID),
         bitrate_bps=PROBE_BITRATE_BPS,
         packet_bytes=PROBE_PACKET_BYTES,
     )
-
-    def on_probe_delivery(packet: Packet) -> None:
-        cell.trace.record(cell.sim.now, PROBE_RX, seq=packet.seq)
-        sink.on_packet(packet)
-
-    cell.server.register_flow(PROBE_FLOW_ID, on_probe_delivery)
-    cell.run_until(PROBE_START_NS)
-    sender.start()
-    cell.run_until(RUN_END_NS)
-    return cell, injector
+    cell.server.register_flow(PROBE_FLOW_ID, ProbeTap(cell, sink))
+    return ProbeHarness(
+        cell=cell, injector=injector, sender=sender, sink=sink, seed=seed
+    )
 
 
-def run_scenario(
-    scenario: ChaosScenario, seed: int, replay: bool = False
+def arm_plan(harness: ProbeHarness, plan: FaultPlan) -> FaultInjector:
+    """Arm a fault plan on a (restored) harness — the fork branch point.
+
+    Every transition the plan schedules must still be in the future
+    (the injector schedules with ``sim.at``, which refuses past times).
+    """
+    if harness.injector is not None:
+        raise RuntimeError("harness already has an armed plan")
+    harness.injector = FaultInjector(harness.cell, plan)
+    harness.injector.arm()
+    return harness.injector
+
+
+def drive_to(harness: ProbeHarness, until_ns: int) -> None:
+    """Advance a harness to an absolute time, starting the probe on the
+    way past ``PROBE_START_NS``. Splitting a run into any sequence of
+    ``drive_to`` calls is behaviour-identical to one call — which is
+    what lets checkpoints pause an execution anywhere."""
+    cell = harness.cell
+    if not harness.probe_started:
+        if until_ns < PROBE_START_NS:
+            cell.run_until(until_ns)
+            return
+        cell.run_until(PROBE_START_NS)
+        harness.sender.start()
+        harness.probe_started = True
+    cell.run_until(until_ns)
+
+
+def _execute(scenario: ChaosScenario, seed: int):
+    """Build, arm, probe, and run one scenario; returns (cell, injector)."""
+    harness = build_probe_harness(
+        seed, num_phy_servers=scenario.num_phy_servers, plan=scenario.plan
+    )
+    drive_to(harness, RUN_END_NS)
+    return harness.cell, harness.injector
+
+
+def judge_execution(
+    scenario: ChaosScenario, seed: int, cell, injector: FaultInjector
 ) -> ScenarioRun:
-    """Execute one (scenario, seed) pair and judge it."""
-    cell, injector = _execute(scenario, seed)
+    """Judge one finished execution against the scenario's invariants.
+
+    Shared by the normal campaign path and the checkpoint/fork paths —
+    a restored or forked execution must produce byte-identical verdicts,
+    so there is exactly one judging code path.
+    """
     events = cell.trace.canonical_events()
     digest = cell.trace.digest()
     checker = RecoveryInvariants(
@@ -197,6 +282,17 @@ def run_scenario(
         },
         link_faults=injector.link_fault_stats(),
     )
+    return run
+
+
+def run_scenario(
+    scenario: ChaosScenario, seed: int, replay: bool = False
+) -> ScenarioRun:
+    """Execute one (scenario, seed) pair and judge it."""
+    cell, injector = _execute(scenario, seed)
+    run = judge_execution(scenario, seed, cell, injector)
+    digest = run.digest
+    events = cell.trace.canonical_events()
     metrics = _telemetry_active()
     if metrics is not None:
         # Per-scenario recovery span: fault (or window start, for pure

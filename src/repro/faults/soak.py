@@ -1,0 +1,287 @@
+"""Continuous-operation (soak) state: background chaos + probe monitor.
+
+A soak run is a long-horizon cell execution with fault arrivals spread
+across the whole horizon instead of the campaign's single fixed fault
+window. Everything with *mutable runtime state* lives in this module —
+inside the ``faults`` subsystem — so the checkpoint state inventory
+(CKPT001/CKPT003) audits it like any other component, and the whole
+:class:`SoakState` graph is the checkpoint root that
+``python -m repro soak`` snapshots and resumes.
+
+Determinism contract: the background :class:`~repro.faults.plan.FaultPlan`
+is pre-drawn **once at build time** from the reserved
+``faults.soak.plan`` registry stream, before any cell event runs. From
+then on the plan is pure data executed by the ordinary
+:class:`~repro.faults.injector.FaultInjector`, so an interrupted soak
+restored from a checkpoint replays the exact same fault arrivals — the
+in-flight injector state (scheduled transitions, armed link
+impairments) rides along inside the pickled graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.apps.dispatch import UplinkTransmit
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import build_slingshot_cell
+from repro.faults.campaign import (
+    PROBE_BEARER_ID,
+    PROBE_BITRATE_BPS,
+    PROBE_FLOW_ID,
+    PROBE_PACKET_BYTES,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import PROBE_RX
+from repro.faults.plan import FaultPlan, LinkFaultSpec, ProcessFaultSpec
+from repro.sim.rng import RngRegistry
+from repro.sim.units import MS
+from repro.transport.packet import FlowDirection, Packet
+from repro.transport.udp import UdpSender, UdpSink
+
+#: Reserved registry stream the background plan is pre-drawn from.
+SOAK_PLAN_STREAM = "faults.soak.plan"
+
+#: Soak probe starts after UE attach settles (same as the campaign).
+SOAK_PROBE_START_NS = 300 * MS
+
+#: Background fault menu: each arrival picks one by a single uniform.
+_CRASH_RESTART_DURATION_NS = 120 * MS
+_SLOWDOWN_DURATION_NS = 100 * MS
+_SLOWDOWN_NS = 2 * MS
+_LINK_WINDOW_NS = 100 * MS
+_LINK_LOSS_PROB = 0.03
+#: Quiet margin after a fault's own window before the next may land, so
+#: background faults never overlap (two concurrent crash_restarts could
+#: take down both PHYs at once, which is the no_secondary scenario's
+#: job, not the soak's).
+_FAULT_MARGIN_NS = 80 * MS
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs of one soak run; lives inside every checkpoint.
+
+    ``checkpoint_every_ns`` must be a multiple of ``window_ns`` so
+    trace eviction at checkpoint boundaries folds only complete digest
+    windows.
+    """
+
+    seed: int = 1
+    horizon_ns: int = 3_000 * MS
+    window_ns: int = 250 * MS
+    checkpoint_every_ns: int = 500 * MS
+    first_fault_ns: int = 600 * MS
+    mean_fault_gap_ns: int = 450 * MS
+    num_phy_servers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window_ns <= 0 or self.checkpoint_every_ns <= 0:
+            raise ValueError("window_ns and checkpoint_every_ns must be > 0")
+        if self.checkpoint_every_ns % self.window_ns != 0:
+            raise ValueError(
+                "checkpoint_every_ns must be a multiple of window_ns "
+                f"({self.checkpoint_every_ns} % {self.window_ns} != 0)"
+            )
+        if self.first_fault_ns <= SOAK_PROBE_START_NS:
+            raise ValueError("first_fault_ns must be after the probe start")
+
+
+def generate_soak_plan(rng: RngRegistry, config: SoakConfig) -> FaultPlan:
+    """Pre-draw the background fault arrivals for one soak horizon.
+
+    All randomness comes from the reserved ``faults.soak.plan`` stream
+    in one serial pass, so the plan depends only on the seed and the
+    config — never on execution interleaving. Arrivals alternate target
+    bookkeeping with the cell's failover behaviour: a ``crash_restart``
+    of the current primary hands the primary role to the standby, so
+    the tracker flips with each one and gray faults always land on the
+    node actually serving traffic.
+    """
+    stream = rng.stream("faults.soak.plan")
+    process_faults: List[ProcessFaultSpec] = []
+    link_faults: List[LinkFaultSpec] = []
+    primary = 0
+    at_ns = config.first_fault_ns
+    while at_ns < config.horizon_ns - _CRASH_RESTART_DURATION_NS:
+        draw = stream.random()
+        gap_scale = 0.75 + 0.5 * stream.random()
+        if draw < 0.4 and config.num_phy_servers > 1:
+            process_faults.append(
+                ProcessFaultSpec(
+                    phy_id=primary,
+                    kind="crash_restart",
+                    at_ns=at_ns,
+                    duration_ns=_CRASH_RESTART_DURATION_NS,
+                )
+            )
+            primary = 1 - primary
+            fault_end = at_ns + _CRASH_RESTART_DURATION_NS
+        elif draw < 0.7:
+            process_faults.append(
+                ProcessFaultSpec(
+                    phy_id=primary,
+                    kind="slowdown",
+                    at_ns=at_ns,
+                    duration_ns=_SLOWDOWN_DURATION_NS,
+                    slowdown_ns=_SLOWDOWN_NS,
+                )
+            )
+            fault_end = at_ns + _SLOWDOWN_DURATION_NS
+        else:
+            link_faults.append(
+                LinkFaultSpec(
+                    link_pattern="ru0",
+                    start_ns=at_ns,
+                    end_ns=at_ns + _LINK_WINDOW_NS,
+                    loss_prob=_LINK_LOSS_PROB,
+                )
+            )
+            fault_end = at_ns + _LINK_WINDOW_NS
+        at_ns = fault_end + _FAULT_MARGIN_NS
+        at_ns += int(config.mean_fault_gap_ns * gap_scale)
+    return FaultPlan(
+        name=f"soak-seed{config.seed}",
+        link_faults=tuple(link_faults),
+        process_faults=tuple(process_faults),
+    )
+
+
+class ProbeGapMonitor:
+    """Incremental max-probe-gap tracker.
+
+    The campaign computes its gap metric from the full trace; a soak
+    run evicts trace windows, so the gap must be folded incrementally
+    at delivery time. Lives in the checkpointed graph — a restored soak
+    continues the same running maximum.
+    """
+
+    __slots__ = ("last_rx_ns", "max_gap_ns", "deliveries")
+
+    def __init__(self, start_ns: int) -> None:
+        self.last_rx_ns = start_ns
+        self.max_gap_ns = 0
+        self.deliveries = 0
+
+    def on_delivery(self, now_ns: int) -> None:
+        gap = now_ns - self.last_rx_ns
+        if gap > self.max_gap_ns:
+            self.max_gap_ns = gap
+        self.last_rx_ns = now_ns
+        self.deliveries += 1
+
+
+class SoakProbeTap:
+    """Server-side probe sink: trace ``PROBE_RX``, fold the gap, deliver."""
+
+    __slots__ = ("cell", "sink", "monitor")
+
+    def __init__(self, cell: Any, sink: UdpSink, monitor: ProbeGapMonitor) -> None:
+        self.cell = cell
+        self.sink = sink
+        self.monitor = monitor
+
+    def __call__(self, packet: Packet) -> None:
+        now = self.cell.sim.now
+        self.cell.trace.record(now, PROBE_RX, seq=packet.seq)
+        self.monitor.on_delivery(now)
+        self.sink.on_packet(packet)
+
+
+@dataclass
+class SoakState:
+    """The checkpoint root of one soak run.
+
+    Carries the whole simulation (cell = engine + trace + RNG registry
+    + components), the armed background injector, the probe endpoints,
+    and the incremental monitor — restoring this one object resumes the
+    run exactly where it paused.
+    """
+
+    config: SoakConfig
+    cell: Any
+    injector: FaultInjector
+    sender: UdpSender
+    sink: UdpSink
+    monitor: ProbeGapMonitor
+    probe_started: bool = False
+
+
+def build_soak_state(config: SoakConfig) -> SoakState:
+    """Build a fresh soak run: cell, pre-drawn plan, probe wiring."""
+    cell = build_slingshot_cell(
+        CellConfig(
+            seed=config.seed,
+            num_phy_servers=config.num_phy_servers,
+            ue_profiles=[UeProfile(ue_id=1, name="UE", mean_snr_db=16.0)],
+        )
+    )
+    cell.trace.window_ns = config.window_ns
+    plan = generate_soak_plan(cell.rng, config)
+    injector = FaultInjector(cell, plan)
+    injector.arm()
+    sink = UdpSink(cell.sim, PROBE_FLOW_ID)
+    ue = cell.ue(1)
+    sender = UdpSender(
+        cell.sim,
+        PROBE_FLOW_ID,
+        ue.ue_id,
+        PROBE_BEARER_ID,
+        FlowDirection.UPLINK,
+        transmit=UplinkTransmit(ue, PROBE_BEARER_ID),
+        bitrate_bps=PROBE_BITRATE_BPS,
+        packet_bytes=PROBE_PACKET_BYTES,
+    )
+    monitor = ProbeGapMonitor(SOAK_PROBE_START_NS)
+    cell.server.register_flow(PROBE_FLOW_ID, SoakProbeTap(cell, sink, monitor))
+    return SoakState(
+        config=config,
+        cell=cell,
+        injector=injector,
+        sender=sender,
+        sink=sink,
+        monitor=monitor,
+    )
+
+
+def drive_soak_to(state: SoakState, until_ns: int) -> None:
+    """Advance a soak run to an absolute time, starting the probe on
+    the way past :data:`SOAK_PROBE_START_NS`. Any split into multiple
+    calls — including across checkpoint/restore — is behaviour-identical
+    to one call."""
+    cell = state.cell
+    if not state.probe_started:
+        if until_ns < SOAK_PROBE_START_NS:
+            cell.run_until(until_ns)
+            return
+        cell.run_until(SOAK_PROBE_START_NS)
+        state.sender.start()
+        state.probe_started = True
+    cell.run_until(until_ns)
+
+
+def plan_summary(plan: FaultPlan) -> dict:
+    """Compact JSON summary of a background plan for soak reports."""
+    kinds: dict = {}
+    for spec in plan.process_faults:
+        kinds[spec.kind] = kinds.get(spec.kind, 0) + 1
+    if plan.link_faults:
+        kinds["link_window"] = len(plan.link_faults)
+    first = min(
+        [s.at_ns for s in plan.process_faults]
+        + [s.start_ns for s in plan.link_faults],
+        default=None,
+    )
+    last = max(
+        [s.at_ns for s in plan.process_faults]
+        + [s.start_ns for s in plan.link_faults],
+        default=None,
+    )
+    return {
+        "name": plan.name,
+        "faults_total": len(plan.process_faults) + len(plan.link_faults),
+        "by_kind": dict(sorted(kinds.items())),
+        "first_fault_ns": first,
+        "last_fault_ns": last,
+    }

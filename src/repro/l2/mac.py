@@ -51,7 +51,7 @@ from repro.l2.rlc import (
 )
 from repro.phy.modulation import Modulation
 from repro.phy.numerology import Numerology, SlotClock, SlotType, TddPattern
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimClock, Simulator
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import MS, US
@@ -266,7 +266,7 @@ class L2Process(Process):
                 bearer, queue_limit_bytes=self.config.dl_queue_limit_bytes
             )
             ctx.ul_rx[bearer.bearer_id] = RlcReceiver(
-                bearer, now_fn=lambda: self.sim.now
+                bearer, now_fn=SimClock(self.sim)
             )
         self.ues[ue_id] = ctx
         if self.trace is not None:

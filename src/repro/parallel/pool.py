@@ -19,8 +19,16 @@ sweeps, and the perf macro scenarios:
 Failure handling never hangs the sweep: a worker exception is carried
 back as data and re-raised as :class:`ShardError` naming the shard key
 at its canonical position; a hard worker death (e.g. the kernel OOM
-killer, ``os._exit``) breaks the pool and is surfaced as
-:class:`ShardCrash` naming the unfinished shard keys.
+killer, ``os._exit``) breaks the pool. Because shards are
+deterministic and self-contained, a broken pool is retried **once** on
+a fresh executor covering only the unfinished shards — transient
+machine-level deaths (OOM kill of one worker during a memory spike)
+recover without rerunning completed work, while a deterministic crash
+fails again immediately and surfaces as :class:`ShardCrash` naming the
+unfinished shard keys plus the tail of the workers' captured stderr
+(the only place a hard death leaves evidence). Retries are recorded in
+the accounting block (``shard_retries``) so BENCH files show when a
+sweep needed one.
 
 Accounting: each shard records its own wall time and the worker
 process's peak RSS (a process high-water mark — warm workers carry the
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -52,6 +61,13 @@ ShardKey = Any
 #: Worker signature: one payload in, one picklable result out.
 ShardWorker = Callable[[Any], Any]
 
+#: Broken-pool retries before giving up (shards are deterministic, so a
+#: second identical failure means the crash is not transient).
+MAX_CRASH_RETRIES = 1
+
+#: Bytes of captured worker stderr attached to a ShardCrash.
+STDERR_TAIL_BYTES = 4096
+
 
 class ShardError(RuntimeError):
     """A shard worker raised; carries the shard key and the traceback."""
@@ -70,15 +86,30 @@ class ShardCrash(RuntimeError):
     ``candidate_keys`` lists, in canonical order, every shard that had
     not completed when the pool broke — the crashed shard is among them
     (usually first; the executor cannot attribute the death exactly).
+    ``stderr_tail`` carries the last bytes the dead workers wrote to
+    stderr (empty when they died silently), and ``retries`` how many
+    fresh-pool retries were burned before giving up.
     """
 
-    def __init__(self, candidate_keys: Sequence[ShardKey]) -> None:
+    def __init__(
+        self,
+        candidate_keys: Sequence[ShardKey],
+        stderr_tail: str = "",
+        retries: int = 0,
+    ) -> None:
         keys = list(candidate_keys)
-        super().__init__(
+        message = (
             "worker process died; unfinished shard(s): "
             + ", ".join(repr(key) for key in keys)
         )
+        if retries:
+            message += f" (after {retries} retr{'y' if retries == 1 else 'ies'})"
+        if stderr_tail:
+            message += f"\nworker stderr tail:\n{stderr_tail}"
+        super().__init__(message)
         self.candidate_keys = keys
+        self.stderr_tail = stderr_tail
+        self.retries = retries
 
 
 @dataclass
@@ -116,6 +147,8 @@ class ShardOutcome:
     results: Dict[ShardKey, Any] = field(default_factory=dict)
     stats: List[ShardStats] = field(default_factory=list)
     total_wall_seconds: float = 0.0
+    #: Fresh-pool retries taken after a hard worker death (0 normally).
+    shard_retries: int = 0
 
     @property
     def shard_wall_seconds(self) -> float:
@@ -151,6 +184,7 @@ class ShardOutcome:
             "wall_seconds": round(self.total_wall_seconds, 4),
             "shard_wall_seconds": round(self.shard_wall_seconds, 4),
             "parallel_speedup": None if speedup is None else round(speedup, 3),
+            "shard_retries": self.shard_retries,
             "max_peak_rss_kb": max(
                 (stat.peak_rss_kb for stat in self.stats), default=0
             ),
@@ -271,30 +305,61 @@ def _run_serial(
     return outcome
 
 
-def _run_pool(
+def _capture_worker_stderr(path: str) -> None:
+    """Pool initializer: point the worker's fd 2 at the crash-log file.
+
+    A hard death (``os._exit``, OOM kill, fatal signal) leaves no
+    Python-level evidence; whatever the worker printed to stderr first
+    — an assertion message, a MemoryError traceback, interpreter
+    noise — is the only clue, so every worker appends to a shared
+    capture file that the parent tails into :class:`ShardCrash`.
+    """
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o600)
+    os.dup2(fd, 2)
+    os.close(fd)
+
+
+def _stderr_tail(path: str, limit: int = STDERR_TAIL_BYTES) -> str:
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            if size > limit:
+                handle.seek(size - limit)
+            return handle.read().decode("utf-8", errors="replace").strip()
+    except OSError:
+        return ""
+
+
+def _pool_attempt(
     worker: ShardWorker,
     shards: Sequence[Tuple[ShardKey, Any]],
-    outcome: ShardOutcome,
-    progress: Optional[Callable[[ShardKey, Any], None]],
-) -> ShardOutcome:
+    remaining: Sequence[int],
+    jobs: int,
+    stderr_path: str,
+    buffered: Dict[int, Dict[str, Any]],
+    completed: set,
+    flush: Callable[[], None],
+) -> List[int]:
+    """One executor lifetime over ``remaining`` shard indices.
+
+    Completions land in ``buffered``/``completed`` (global indices) and
+    are streamed via ``flush`` as they arrive. Returns the indices left
+    unfinished by a broken pool, or ``[]`` on a clean pass.
+    """
     keys = [key for key, _ in shards]
-    start = wall_ns()
     context = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(
-        max_workers=outcome.effective_jobs, mp_context=context
+        max_workers=jobs,
+        mp_context=context,
+        initializer=_capture_worker_stderr,
+        initargs=(stderr_path,),
     ) as executor:
         index_of = {}
-        futures = []
-        for index, (key, payload) in enumerate(shards):
+        for index in remaining:
+            key, payload = shards[index]
             future = executor.submit(_shard_entry, worker, key, payload)
             index_of[future] = index
-            futures.append(future)
-        # Ordered flush: buffer out-of-order completions, stream each
-        # shard exactly when every earlier shard has been streamed.
-        buffered: Dict[int, Dict[str, Any]] = {}
-        completed: set = set()
-        next_flush = 0
-        pending = set(futures)
+        pending = set(index_of)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             crashed = False
@@ -308,15 +373,66 @@ def _run_pool(
                 except Exception as exc:  # e.g. an unpicklable result
                     raise ShardError(keys[index], repr(exc)) from exc
             if crashed:
-                unfinished = [
-                    keys[i] for i in range(len(keys)) if i not in completed
-                ]
-                raise ShardCrash(unfinished) from None
-            while next_flush in buffered:
-                _finish(
-                    outcome, keys[next_flush], buffered.pop(next_flush), progress
-                )
-                next_flush += 1
+                return [i for i in remaining if i not in completed]
+            flush()
+    return []
+
+
+def _run_pool(
+    worker: ShardWorker,
+    shards: Sequence[Tuple[ShardKey, Any]],
+    outcome: ShardOutcome,
+    progress: Optional[Callable[[ShardKey, Any], None]],
+) -> ShardOutcome:
+    keys = [key for key, _ in shards]
+    start = wall_ns()
+    handle = tempfile.NamedTemporaryFile(
+        prefix="repro-shards-", suffix=".stderr", delete=False
+    )
+    stderr_path = handle.name
+    handle.close()
+    # Ordered flush: buffer out-of-order completions, stream each shard
+    # exactly when every earlier shard has been streamed. The buffer
+    # outlives pool attempts so a retry resumes the stream seamlessly.
+    buffered: Dict[int, Dict[str, Any]] = {}
+    completed: set = set()
+    flush_state = {"next": 0}
+
+    def flush() -> None:
+        while flush_state["next"] in buffered:
+            index = flush_state["next"]
+            _finish(outcome, keys[index], buffered.pop(index), progress)
+            flush_state["next"] += 1
+
+    try:
+        remaining: List[int] = list(range(len(shards)))
+        while True:
+            unfinished = _pool_attempt(
+                worker,
+                shards,
+                remaining,
+                outcome.effective_jobs,
+                stderr_path,
+                buffered,
+                completed,
+                flush,
+            )
+            if not unfinished:
+                break
+            if outcome.shard_retries >= MAX_CRASH_RETRIES:
+                raise ShardCrash(
+                    [keys[i] for i in unfinished],
+                    stderr_tail=_stderr_tail(stderr_path),
+                    retries=outcome.shard_retries,
+                ) from None
+            outcome.shard_retries += 1
+            remaining = unfinished
+        flush()
+    finally:
+        try:
+            os.unlink(stderr_path)
+        except OSError:  # pragma: no cover - already gone
+            pass
     outcome.total_wall_seconds = (wall_ns() - start) / 1e9
     return outcome
 

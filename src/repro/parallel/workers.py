@@ -57,6 +57,41 @@ def run_telemetry_shard(payload: Tuple[str, int]) -> Dict[str, Any]:
     return run_instrumented_scenario(scenario_name, seed)
 
 
+def build_fork_base_shard(payload: Tuple[int, int, int, str]) -> str:
+    """Build one warm fork base and save its checkpoint; returns the path.
+
+    The base is fully determined by ``(seed, num_phy_servers, fork_ns)``
+    — an unarmed probe harness driven to the fork point — so shards stay
+    payload-pure and the saved checkpoints are bit-stable per key.
+    """
+    from pathlib import Path
+
+    from repro.checkpoint.fork import build_fork_base
+
+    seed, num_phy_servers, fork_ns, path = payload
+    build_fork_base((seed, num_phy_servers, fork_ns)).save(Path(path))
+    return path
+
+
+def run_forked_scenario_shard(payload: Tuple[Any, int, str]) -> Any:
+    """One forked chaos branch: load a warm checkpoint, arm, run, judge.
+
+    The checkpoint file was captured from the same seed the payload
+    names, so all worker state still derives from the shard's seed —
+    the checkpoint is a verified intermediate of the deterministic
+    build, not an outside input (restore re-checks the payload hash and
+    the manifest walk).
+    """
+    from pathlib import Path
+
+    from repro.checkpoint.fork import run_forked_scenario
+    from repro.checkpoint.snapshot import Checkpoint
+
+    scenario, seed, checkpoint_path = payload
+    checkpoint = Checkpoint.load(Path(checkpoint_path))
+    return run_forked_scenario(scenario, seed, checkpoint)
+
+
 def run_perf_benchmark_shard(payload: Tuple[str, bool]) -> Dict[str, Any]:
     """One named perf-catalog benchmark, timed inside the worker."""
     from repro.perf.benchmarks import CATALOG

@@ -20,32 +20,36 @@ longer scenarios, provides measurement stability.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro.apps.dispatch import FlowDispatch
 from repro.apps.iperf import UdpIperfUplink
 from repro.apps.ping import PingClient, UePingResponder
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import build_slingshot_cell
 from repro.sim.units import MS, run_for_ns, run_until_ns, s_to_ns, seconds
-from repro.transport.packet import Packet
 
 
-def run_fig9_cell(duration_s: float = 1.2, failure_at_s: float = 0.6, seed: int = 0):
-    """Fig 9 shape: three UEs pinging every 10 ms through a PHY failover."""
+def run_fig9_cell(
+    duration_s: float = 1.2,
+    failure_at_s: float = 0.6,
+    seed: int = 0,
+    pause_at_s: Optional[float] = None,
+    on_pause: Optional[Callable] = None,
+):
+    """Fig 9 shape: three UEs pinging every 10 ms through a PHY failover.
+
+    ``pause_at_s``/``on_pause`` split the final run at an intermediate
+    time and hand the live cell to the callback — the checkpoint tests
+    capture there. Splitting ``run_until`` is behaviour-identical to one
+    call, so the golden digest is unaffected.
+    """
     cell = build_slingshot_cell(CellConfig(seed=seed))
     clients = {}
     for ue_id, ue in cell.ues.items():
         flow = f"ping-{ue_id}"
         responder = UePingResponder(ue, flow, bearer_id=1)
-        previous_sink = ue.dl_sink
-
-        def dispatch(bearer_id, sdu, responder=responder, flow=flow, prev=previous_sink):
-            if isinstance(sdu, Packet) and sdu.flow_id == flow:
-                responder.on_packet(sdu)
-            elif prev is not None:
-                prev(bearer_id, sdu)
-
-        ue.dl_sink = dispatch
+        ue.dl_sink = FlowDispatch(flow, responder.on_packet, ue.dl_sink)
         clients[ue.name] = PingClient(
             cell.sim,
             cell.server,
@@ -58,12 +62,25 @@ def run_fig9_cell(duration_s: float = 1.2, failure_at_s: float = 0.6, seed: int 
     for client in clients.values():
         client.start()
     cell.kill_phy_at(0, s_to_ns(failure_at_s))
+    if pause_at_s is not None:
+        run_until_ns(cell, seconds(pause_at_s))
+        if on_pause is not None:
+            on_pause(cell)
     run_until_ns(cell, seconds(duration_s))
     return cell
 
 
-def run_fig10_smoke_cell(duration_s: float = 1.0, event_at_s: float = 0.6, seed: int = 0):
-    """Fig 10 smoke: one UE, uplink UDP iperf through a PHY failover."""
+def run_fig10_smoke_cell(
+    duration_s: float = 1.0,
+    event_at_s: float = 0.6,
+    seed: int = 0,
+    pause_at_s: Optional[float] = None,
+    on_pause: Optional[Callable] = None,
+):
+    """Fig 10 smoke: one UE, uplink UDP iperf through a PHY failover.
+
+    ``pause_at_s``/``on_pause``: see :func:`run_fig9_cell`.
+    """
     cell = build_slingshot_cell(
         CellConfig(
             seed=seed,
@@ -82,6 +99,10 @@ def run_fig10_smoke_cell(duration_s: float = 1.0, event_at_s: float = 0.6, seed:
     run_for_ns(cell, seconds(0.2))
     flow.start()
     cell.kill_phy_at(0, s_to_ns(event_at_s))
+    if pause_at_s is not None:
+        run_until_ns(cell, seconds(pause_at_s))
+        if on_pause is not None:
+            on_pause(cell)
     run_until_ns(cell, seconds(duration_s))
     return cell
 

@@ -97,6 +97,25 @@ class EventHandle:
         return f"<EventHandle t={self.time} {name} {state}>"
 
 
+class SimClock:
+    """Picklable zero-argument clock callable bound to one simulator.
+
+    Components that need a ``now_fn``-style callback (e.g. RLC
+    reassembly timers) must hold one of these rather than a
+    ``lambda: sim.now`` closure: closures cannot be pickled, and the
+    checkpoint subsystem snapshots whole cells by pickling the object
+    graph.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+
+    def __call__(self) -> int:
+        return self.sim.now
+
+
 class Simulator:
     """Discrete-event simulator with an integer-nanosecond clock.
 

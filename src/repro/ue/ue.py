@@ -37,7 +37,7 @@ from repro.phy.channel import ChannelRealization, UeChannelModel
 from repro.phy.codec import PhyCodec
 from repro.phy.numerology import SlotClock, SlotType, TddPattern
 from repro.phy.transport import LinkDirection, TransportBlock
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimClock, Simulator
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import MS, US
@@ -124,7 +124,7 @@ class UserEquipment(Process):
     def _build_bearers(self) -> None:
         self.ul_tx = {b.bearer_id: RlcTransmitter(b) for b in self.bearer_configs}
         self.dl_rx = {
-            b.bearer_id: RlcReceiver(b, now_fn=lambda: self.sim.now)
+            b.bearer_id: RlcReceiver(b, now_fn=SimClock(self.sim))
             for b in self.bearer_configs
         }
 

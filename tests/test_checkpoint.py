@@ -1,0 +1,296 @@
+"""Checkpoint/restore, soak, and scenario-forking tests.
+
+The continuous-operation contract under test (DESIGN.md §13):
+
+* ``restore(checkpoint(t))`` replays **bit-identically** — the restored
+  run's canonical trace digest equals the uninterrupted run's, for the
+  golden perf scenarios and for checkpoints captured *mid-recovery* in
+  every chaos scenario class;
+* soak runs survive eviction and crash-resume with the same rolling
+  digest;
+* forked branches from a warm base are digest-identical to cold runs at
+  any ``--jobs``;
+* the recorded ``BENCH_soak.json`` baseline gates all of it via
+  ``python -m repro soak --check --quick`` (tier-1).
+"""
+
+import pickle
+
+import pytest
+
+from repro.checkpoint import Checkpoint, SnapshotError, SnapshotRegistry
+from repro.checkpoint.fork import fork_key, forked_sweep
+from repro.checkpoint.soak import run_soak
+from repro.faults.campaign import (
+    arm_plan,
+    build_probe_harness,
+    drive_to,
+    judge_execution,
+)
+from repro.faults.scenarios import RUN_END_NS, scenario_by_name
+from repro.faults.soak import SoakConfig
+from repro.parallel import run_shards
+from repro.sim.units import MS
+
+#: Mid-recovery capture point: inside every standard scenario's fault
+#: window (faults land at 550 ms, recovery completes by 850 ms).
+MID_RECOVERY_NS = 600 * MS
+
+
+# ----------------------------------------------------------------------
+# Top-level shard worker (picklable) for the jobs-swept matrix test.
+# ----------------------------------------------------------------------
+def _mid_recovery_verify(payload):
+    """Checkpoint one scenario mid-recovery; finish both timelines.
+
+    Returns the continued and restored runs — the caller asserts the
+    digests and verdicts are identical (and match the recorded chaos
+    baseline).
+    """
+    name, seed = payload
+    scenario = scenario_by_name()[name]
+    harness = build_probe_harness(
+        seed, num_phy_servers=scenario.num_phy_servers
+    )
+    arm_plan(harness, scenario.plan)
+    drive_to(harness, MID_RECOVERY_NS)
+    checkpoint = Checkpoint.capture(harness, label=f"mid-recovery {name}")
+    drive_to(harness, RUN_END_NS)
+    continued = judge_execution(scenario, seed, harness.cell, harness.injector)
+    restored = checkpoint.restore()
+    drive_to(restored, RUN_END_NS)
+    replayed = judge_execution(scenario, seed, restored.cell, restored.injector)
+    return {
+        "continued": continued,
+        "restored": replayed,
+        "checkpoint_sim_ns": checkpoint.meta.sim_now_ns,
+    }
+
+
+def _chaos_baseline():
+    from repro.checkpoint.soak import _chaos_baseline_digests
+
+    digests = _chaos_baseline_digests()
+    assert digests, "benchmarks/BENCH_chaos.json missing - record it first"
+    return digests
+
+
+class TestCheckpointPrimitives:
+    @pytest.fixture(scope="class")
+    def warm(self):
+        harness = build_probe_harness(1)
+        drive_to(harness, 50 * MS)
+        return harness
+
+    def test_capture_verifies_and_stamps_meta(self, warm):
+        checkpoint = Checkpoint.capture(warm, label="warm-50ms")
+        assert checkpoint.meta.label == "warm-50ms"
+        assert checkpoint.meta.sim_now_ns == 50 * MS
+        assert checkpoint.meta.events_processed == warm.cell.sim.events_processed
+        assert checkpoint.meta.classes  # manifest classes seen in the graph
+
+    def test_save_load_round_trip(self, warm, tmp_path):
+        checkpoint = Checkpoint.capture(warm, label="roundtrip")
+        path = tmp_path / "warm.ckpt"
+        checkpoint.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.meta == checkpoint.meta
+        assert loaded.payload == checkpoint.payload
+        restored = loaded.restore()
+        assert restored.cell.sim.now == warm.cell.sim.now
+        assert restored.cell.trace.digest() == warm.cell.trace.digest()
+
+    def test_corrupt_payload_rejected(self, warm):
+        checkpoint = Checkpoint.capture(warm, label="tamper")
+        tampered = Checkpoint(
+            meta=checkpoint.meta,
+            payload=checkpoint.payload[:-1] + b"\x00",
+        )
+        with pytest.raises(SnapshotError, match="sha256|hash|digest"):
+            tampered.restore()
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-checkpoint.ckpt"
+        path.write_bytes(b"definitely not the magic header\n")
+        with pytest.raises(SnapshotError):
+            Checkpoint.load(path)
+
+    def test_two_simulators_rejected(self, warm):
+        other = build_probe_harness(2)
+        with pytest.raises(SnapshotError, match="[Ss]imulator"):
+            Checkpoint.capture([warm, other], label="twins")
+
+    def test_registry_scan_counts_manifest_classes(self, warm):
+        counts, simulators, problems = SnapshotRegistry().scan(warm)
+        assert problems == []
+        assert len(simulators) == 1
+        assert counts.get("repro.sim.engine.Simulator") == 1
+
+
+@pytest.mark.slow
+class TestMidRecoveryCheckpoints:
+    """Satellite 3: every chaos scenario class checkpoints mid-recovery
+    and replays bit-identically, at --jobs 1 and 2."""
+
+    def test_all_scenario_classes_replay_identically_jobs2(self):
+        baseline = _chaos_baseline()
+        names = sorted(scenario_by_name())
+        outcome = run_shards(
+            _mid_recovery_verify,
+            [(name, (name, 1)) for name in names],
+            jobs=2,
+        )
+        for name, result in zip(outcome.keys, outcome.values()):
+            continued, restored = result["continued"], result["restored"]
+            assert result["checkpoint_sim_ns"] == MID_RECOVERY_NS
+            assert restored.digest == continued.digest, (
+                f"{name}: restored run diverged from the uninterrupted run"
+            )
+            assert restored.invariants == continued.invariants, (
+                f"{name}: restored-run verdicts diverged"
+            )
+            assert restored.passed and continued.passed, (
+                f"{name}: recovery invariants failed"
+            )
+            assert continued.digest == baseline[(name, 1)], (
+                f"{name}: run diverged from the recorded chaos baseline"
+            )
+
+    def test_serial_pass_matches_pooled_on_subset(self):
+        names = ["cmd_drop", "crash_restart"]
+        serial = run_shards(
+            _mid_recovery_verify, [(n, (n, 1)) for n in names], jobs=1
+        )
+        pooled = run_shards(
+            _mid_recovery_verify, [(n, (n, 1)) for n in names], jobs=2
+        )
+        assert serial.values() == pooled.values()
+
+
+@pytest.mark.slow
+class TestGoldenRestoreIdentity:
+    """The four golden digest scenarios restore to their golden values."""
+
+    @pytest.mark.parametrize(
+        "name,runner_name,duration_s",
+        [
+            ("fig9", "run_fig9_cell", 1.2),
+            ("fig10_smoke", "run_fig10_smoke_cell", 1.0),
+        ],
+    )
+    def test_figure_scenarios(self, name, runner_name, duration_s):
+        from repro.perf import scenarios as perf_scenarios
+        from repro.sim.units import run_until_ns, seconds
+        from tests.test_perf_digests import GOLDEN_DIGESTS
+
+        captured = {}
+        runner = getattr(perf_scenarios, runner_name)
+        cell = runner(
+            pause_at_s=0.7,
+            on_pause=lambda c: captured.update(
+                checkpoint=Checkpoint.capture(c, label=f"{name}@0.7s")
+            ),
+        )
+        golden = GOLDEN_DIGESTS[name]
+        assert cell.trace.digest() == golden
+        restored = captured["checkpoint"].restore()
+        run_until_ns(restored, seconds(duration_s))
+        assert restored.trace.digest() == golden
+
+    @pytest.mark.parametrize(
+        "golden_name,scenario_name",
+        [
+            ("chaos_cmd_drop", "cmd_drop"),
+            ("chaos_crash_restart", "crash_restart"),
+        ],
+    )
+    def test_chaos_scenarios(self, golden_name, scenario_name):
+        from tests.test_perf_digests import GOLDEN_DIGESTS
+
+        result = _mid_recovery_verify((scenario_name, 1))
+        assert result["restored"].digest == GOLDEN_DIGESTS[golden_name]
+
+
+@pytest.mark.slow
+class TestForkedSweep:
+    def test_forked_branches_match_cold_digests_at_any_jobs(self, tmp_path):
+        """A quick 4-scenario forked sweep (one shared warm base) is
+        digest-identical to the recorded cold baseline at jobs 1 and 2,
+        and the second sweep reuses the bases the first built."""
+        from repro.checkpoint.soak import QUICK_FORK_SCENARIOS
+
+        baseline = _chaos_baseline()
+        catalog = scenario_by_name()
+        scenarios = [catalog[n] for n in QUICK_FORK_SCENARIOS]
+        assert len({fork_key(s, 1) for s in scenarios}) == 1
+
+        report1, info1 = forked_sweep(scenarios, (1,), tmp_path, jobs=1)
+        report2, info2 = forked_sweep(scenarios, (1,), tmp_path, jobs=2)
+        assert info1["bases_built"] == 1 and info1["bases_reused"] == 0
+        assert info2["bases_built"] == 0 and info2["bases_reused"] == 1
+        for report in (report1, report2):
+            for run in report.runs:
+                assert run.passed
+                assert run.digest == baseline[(run.scenario, run.seed)]
+        assert [r.digest for r in report1.runs] == [
+            r.digest for r in report2.runs
+        ]
+
+
+class TestSoakResume:
+    def test_soak_resume_reproduces_rolling_digest(self, tmp_path):
+        """Crash-resume from the earliest retained checkpoint replays
+        the uninterrupted run's rolling digest, with eviction active."""
+        config = SoakConfig(seed=5, horizon_ns=1500 * MS)
+        _, summary, written = run_soak(config, checkpoint_dir=tmp_path)
+        assert summary["evicted_events"] > 0
+        assert written, "soak wrote no checkpoints"
+        boundary, path = written[0]
+        _, resumed, _ = run_soak(resume=path)
+        assert resumed["resumed_from_ns"] == boundary
+        assert resumed["rolling_digest"] == summary["rolling_digest"]
+        assert resumed["events_processed"] == summary["events_processed"]
+        assert resumed["probe_deliveries"] == summary["probe_deliveries"]
+
+    def test_resume_rejects_config_override(self, tmp_path):
+        config = SoakConfig(seed=5, horizon_ns=1500 * MS)
+        _, _, written = run_soak(config, checkpoint_dir=tmp_path)
+        with pytest.raises(ValueError, match="resume"):
+            run_soak(config, resume=written[0][1])
+
+    def test_checkpoint_pruning_keeps_last_n(self, tmp_path):
+        config = SoakConfig(seed=5, horizon_ns=2000 * MS)
+        _, _, written = run_soak(config, checkpoint_dir=tmp_path, keep=2)
+        assert len(written) == 2
+        on_disk = sorted(tmp_path.glob("*.ckpt"))
+        assert on_disk == sorted(path for _, path in written)
+
+
+@pytest.mark.slow
+class TestSoakCheckGate:
+    def test_soak_check_quick_passes(self, capsys):
+        """Tier-1 gate: the quick soak profile reruns deterministically
+        against the recorded BENCH_soak.json baseline."""
+        from repro.checkpoint.soak import main as soak_main
+
+        exit_code = soak_main(["--check", "--quick"])
+        output = capsys.readouterr().out
+        assert exit_code == 0, f"soak --check --quick failed:\n{output}"
+        assert "soak check passed" in output
+
+
+class TestSoakStatePicklability:
+    def test_soak_state_round_trips_through_pickle(self):
+        """The whole runtime graph is closure-free: a fresh soak state
+        pickles and unpickles without a registry in the loop."""
+        from repro.faults.soak import build_soak_state, drive_soak_to
+
+        state = build_soak_state(SoakConfig(seed=7, horizon_ns=1500 * MS))
+        drive_soak_to(state, 350 * MS)
+        clone = pickle.loads(pickle.dumps(state))
+        drive_soak_to(state, 700 * MS)
+        drive_soak_to(clone, 700 * MS)
+        assert clone.cell.trace.rolling_digest() == (
+            state.cell.trace.rolling_digest()
+        )
+        assert clone.monitor.max_gap_ns == state.monitor.max_gap_ns

@@ -339,6 +339,11 @@ class TestRuleCatalog:
     EXPECTED = [
         ("CKPT001", "error", "mutable attribute not initialized in __init__"),
         ("CKPT002", "warning", "stale _checkpoint_derived_ declaration"),
+        (
+            "CKPT003",
+            "error",
+            "checkpoint manifest out of sync with state inventory",
+        ),
         ("DET001", "error", "wall-clock read"),
         ("DET002", "error", "stdlib random import"),
         ("DET003", "error", "private numpy generator"),

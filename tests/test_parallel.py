@@ -51,6 +51,27 @@ def _exit_on_two(payload):
     return payload
 
 
+def _exit_once_on_two(payload):
+    """Crash shard 2 the first time only (marker file), succeed after."""
+    value, marker = payload
+    if value == 2 and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed")
+        os._exit(13)
+    return value * 2
+
+
+def _exit_on_two_loudly(payload):
+    if payload == 2:
+        # fd 2 directly: that's where hard-death evidence (interpreter
+        # fatal errors, C-level aborts) lands, and what the pool's
+        # stderr capture redirects. pytest swaps sys.stderr for its own
+        # object, so writing through it would bypass the redirect.
+        os.write(2, b"fatal: shard two always dies\n")
+        os._exit(13)
+    return payload
+
+
 class TestRunShardsSerial:
     def test_results_in_canonical_order(self):
         outcome = run_shards(_double, [(("k", i), i) for i in range(5)], jobs=1)
@@ -124,6 +145,30 @@ class TestRunShardsPool:
         outcome = run_shards(_double, [("only", 21)], jobs=8)
         assert outcome.mode == "serial"
         assert outcome.values() == [42]
+
+    def test_transient_crash_retried_once_and_recovers(self, tmp_path):
+        """A shard that hard-crashes once finishes on the fresh-pool
+        retry: values and order unchanged, retry recorded."""
+        marker = str(tmp_path / "crashed-once")
+        outcome = run_shards(
+            _exit_once_on_two,
+            [(("r", i), (i, marker)) for i in range(4)],
+            jobs=2,
+        )
+        assert os.path.exists(marker), "crash never happened"
+        assert outcome.values() == [0, 2, 4, 6]
+        assert outcome.shard_retries == 1
+        assert outcome.accounting()["shard_retries"] == 1
+
+    def test_permanent_crash_reports_retries_and_stderr_tail(self):
+        with pytest.raises(ShardCrash) as excinfo:
+            run_shards(
+                _exit_on_two_loudly, [(("c", i), i) for i in range(4)], jobs=2
+            )
+        assert ("c", 2) in excinfo.value.candidate_keys
+        assert excinfo.value.retries == 1
+        assert "fatal: shard two always dies" in excinfo.value.stderr_tail
+        assert "fatal: shard two always dies" in str(excinfo.value)
 
 
 class TestChaosJobsSmoke:

@@ -357,3 +357,74 @@ class TestTraceRecorder:
         trace.clear()
         assert trace.count("x") == 0
         assert trace.categories() == []
+
+
+class TestRollingDigest:
+    """The bounded-memory digest contract behind soak runs.
+
+    ``rolling_digest()`` must equal the digest of a never-evicting
+    recorder with the same ``window_ns``, and ``window_ns=None`` must
+    stay byte-identical to the historical flat SHA-256 (the recorded
+    golden digests depend on that).
+    """
+
+    @staticmethod
+    def _feed(trace, n=60, span=600):
+        # Deterministic mixed-category events, deliberately recorded
+        # out of time order within a window (canonical order fixes it).
+        for i in range(n):
+            t = (i * 37) % span
+            trace.record(t, f"cat{i % 3}", seq=i, value=i * i)
+
+    def test_windowed_digest_equals_flat_digest_structureless(self):
+        # One window covering the whole trace == the flat digest.
+        flat = TraceRecorder()
+        wide = TraceRecorder(window_ns=10_000)
+        self._feed(flat)
+        self._feed(wide)
+        assert wide.digest() == flat.digest()
+
+    def test_eviction_preserves_rolling_digest(self):
+        keep = TraceRecorder(window_ns=100)
+        evicting = TraceRecorder(window_ns=100)
+        self._feed(keep)
+        self._feed(evicting)
+        evicted = evicting.evict_before(400)
+        assert evicted > 0
+        assert evicting.evicted_events == evicted
+        assert len(evicting) == len(keep) - evicted
+        assert evicting.rolling_digest() == keep.rolling_digest()
+
+    def test_incremental_eviction_matches_single_eviction(self):
+        stepwise = TraceRecorder(window_ns=100)
+        oneshot = TraceRecorder(window_ns=100)
+        self._feed(stepwise)
+        self._feed(oneshot)
+        for horizon in (150, 320, 500):
+            stepwise.evict_before(horizon)
+        oneshot.evict_before(500)
+        assert stepwise.rolling_digest() == oneshot.rolling_digest()
+        assert stepwise.evicted_events == oneshot.evicted_events
+
+    def test_recording_below_evicted_horizon_rejected(self):
+        trace = TraceRecorder(window_ns=100)
+        self._feed(trace)
+        trace.evict_before(300)
+        with pytest.raises(ValueError, match="evicted"):
+            trace.record(150, "late")
+
+    def test_evict_requires_window(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError, match="window_ns"):
+            trace.evict_before(100)
+
+    def test_window_size_changes_digest_but_not_equality(self):
+        # Different window sizes chain differently (digests are only
+        # comparable at equal window_ns), but each size is internally
+        # deterministic.
+        a100, b100 = TraceRecorder(window_ns=100), TraceRecorder(window_ns=100)
+        a200 = TraceRecorder(window_ns=200)
+        for trace in (a100, b100, a200):
+            self._feed(trace)
+        assert a100.digest() == b100.digest()
+        assert a100.digest() != a200.digest()
