@@ -47,6 +47,7 @@ RUNTIME_SUBSYSTEMS = frozenset(
         "corenet",
         "fapi",
         "faults",
+        "fleet",
         "fronthaul",
         "l2",
         "net",

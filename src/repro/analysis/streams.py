@@ -72,6 +72,12 @@ NAMESPACES: Tuple[StreamNamespace, ...] = (
         description="chaos fault plans (reserved for fault injection)",
     ),
     StreamNamespace(
+        "fleet",
+        "fleet",
+        strict=True,
+        description="fleet composition draws (tracer-cell sampling)",
+    ),
+    StreamNamespace(
         "perf", "perf", strict=True, description="benchmark input corpora"
     ),
     StreamNamespace("phy", "cell", description="per-PHY processing jitter"),

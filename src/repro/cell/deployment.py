@@ -231,9 +231,18 @@ def _wire_phy_server(
     )
 
 
-def _build_common(config: CellConfig):
-    """Create the shared substrate: sim, switch+middlebox, RU, air, UEs."""
-    sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
+def _build_common(config: CellConfig, sim: Optional[Simulator] = None):
+    """Create the shared substrate: sim, switch+middlebox, RU, air, UEs.
+
+    With an external ``sim`` (the fleet composer's island-cell mode) the
+    cell shares one event loop with its siblings but owns every other
+    piece of state — switch, middlebox, RNG registry, trace — so its
+    canonical trace is byte-identical to a standalone build of the same
+    config (``config.tie_shuffle_seed`` then belongs to the shared sim's
+    creator and is ignored here).
+    """
+    if sim is None:
+        sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
     trace = TraceRecorder()
     rng = RngRegistry(seed=config.seed)
     slot_clock = SlotClock(config.numerology)
@@ -317,11 +326,18 @@ def _build_ues(
     return ues
 
 
-def build_slingshot_cell(config: Optional[CellConfig] = None) -> SlingshotCell:
-    """Build, wire, and start a Slingshot-protected cell."""
+def build_slingshot_cell(
+    config: Optional[CellConfig] = None,
+    sim: Optional[Simulator] = None,
+) -> SlingshotCell:
+    """Build, wire, and start a Slingshot-protected cell.
+
+    ``sim`` plugs the cell into an existing event loop (island-cell mode,
+    used by :mod:`repro.fleet`); by default the cell gets its own.
+    """
     config = config or CellConfig()
     (sim, trace, rng, slot_clock, macs, switch, middlebox, air, ru) = _build_common(
-        config
+        config, sim=sim
     )
     # PHY servers. All belong to vRAN instance 1 (one L2).
     phy_servers: List[PhyServerNode] = []

@@ -94,10 +94,16 @@ class DualCellDeployment:
 def build_dual_cell_deployment(
     config: Optional[CellConfig] = None,
     ues_per_cell: int = 1,
+    sim: Optional[Simulator] = None,
 ) -> DualCellDeployment:
-    """Build the two-cell, two-server crossed-roles deployment."""
+    """Build the two-cell, two-server crossed-roles deployment.
+
+    ``sim`` plugs the pod into an existing event loop (island mode, same
+    contract as :func:`repro.cell.deployment.build_slingshot_cell`).
+    """
     config = config or CellConfig()
-    sim = Simulator()
+    if sim is None:
+        sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
     trace = TraceRecorder()
     rng = RngRegistry(seed=config.seed)
     slot_clock = SlotClock(config.numerology)

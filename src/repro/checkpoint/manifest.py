@@ -32,6 +32,8 @@ STATE_MANIFEST: Dict[str, Tuple[str, ...]] = {
     'repro.fapi.channels.ShmChannel': ('_pending', 'endpoint', 'messages_sent'),
     'repro.faults.injector.FaultInjector': ('_armed', 'impairments'),
     'repro.faults.soak.ProbeGapMonitor': ('deliveries', 'last_rx_ns', 'max_gap_ns'),
+    'repro.fleet.pool.StandbyPool': ('available', 'exhaustions', 'promotions', 'rewarmed'),
+    'repro.fleet.population.FleetPopulation': ('cell_down', 'degraded_user_epochs', 'epochs', 'served_user_epochs'),
     'repro.fronthaul.air.AirInterface': ('_ports',),
     'repro.fronthaul.air.UeRadioPort': ('_pending_ul',),
     'repro.fronthaul.ru.RadioUnit': ('_cplane', '_dl_data', '_last_source_phy', '_sources_per_slot', '_started'),

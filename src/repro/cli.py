@@ -13,6 +13,7 @@ Usage::
     python -m repro perf [--quick] [--check] [--jobs N]
     python -m repro telemetry [--quick] [--check] [--jobs N]
     python -m repro soak [--check --quick] [--resume CKPT] [--jobs N]
+    python -m repro fleet [--check --quick] [--pool-sizes 0 1 2 4] [--jobs N]
 
 Every experiment subcommand is derived from the
 :data:`repro.experiments.REGISTRY` — the registry entry supplies the
@@ -39,7 +40,7 @@ from repro.experiments import REGISTRY, ExperimentSpec
 
 #: Harness verbs dispatched to their own sub-CLIs before experiment
 #: argument parsing (name -> lazy main import).
-_HARNESS_VERBS = ("lint", "chaos", "perf", "telemetry", "soak")
+_HARNESS_VERBS = ("lint", "chaos", "perf", "telemetry", "soak", "fleet")
 
 
 def _registry_runner(spec: ExperimentSpec) -> Callable:
@@ -141,6 +142,10 @@ def _dispatch_harness(verb: str, argv: List[str]) -> int:
         from repro.checkpoint import soak as soak_harness
 
         return soak_harness.main(argv)
+    if verb == "fleet":
+        from repro.fleet import campaign as fleet_campaign
+
+        return fleet_campaign.main(argv)
     from repro.telemetry import runner as telemetry_runner
 
     return telemetry_runner.main(argv)
@@ -160,6 +165,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  perf    micro/macro benchmark harness with --check gate")
         print("  telemetry  instrumented failover metrics + timelines")
         print("  soak    continuous-operation run: checkpoints, resume, forking")
+        print("  fleet   metro-scale availability vs pooled standby count")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -386,6 +386,12 @@ class L2SideOrion(Process):
         self.cells: Dict[int, CellAssignment] = {}
         #: Callback fired when a failover completes (hook for experiments).
         self.on_failover: Optional[Callable[[int, int], None]] = None
+        #: Pooled-standby gate (fleet composer): consulted with the cell's
+        #: assignment before a *failover* promotes its warm standby.
+        #: Returning False denies the promotion (shared pool exhausted) and
+        #: the cell degrades exactly as if it had no standby. ``None`` —
+        #: the dedicated-standby default — always grants.
+        self.standby_gate: Optional[Callable[[CellAssignment], bool]] = None
         # Telemetry registry captured at construction (None = disabled).
         self._metrics = _telemetry_active()
 
@@ -565,6 +571,8 @@ class L2SideOrion(Process):
             )
             return
         # Silence exceeded the threshold: the active PHY is gray-failed.
+        if assignment.primary_phy in assignment.failed_phys:
+            return  # Failure already accounted (pooled-standby denial).
         if self._metrics is not None:
             self._metrics.counter("orion.watchdog_fires").inc()
         if self.trace is not None:
@@ -575,21 +583,15 @@ class L2SideOrion(Process):
                 phy=assignment.primary_phy,
                 silent_ns=self.now - last,
             )
-        if assignment.secondary_phy is None:
-            self.stats.failovers_impossible += 1
-            if self.trace is not None:
-                self.trace.record(
-                    self.now,
-                    "orion.failover_impossible",
-                    cell=assignment.cell_id,
-                    phy=assignment.primary_phy,
-                )
+        dest = self._failover_dest(assignment)
+        if dest is None:
+            self._note_failover_impossible(assignment, assignment.primary_phy)
             return
         self.stats.watchdog_failovers += 1
         self.stats.failovers_handled += 1
         self._start_migration(
             assignment,
-            dest=assignment.secondary_phy,
+            dest=dest,
             boundary=self.slot_clock.slot_at(self.now)
             + self.config.failover_slot_margin,
             failover=True,
@@ -636,25 +638,51 @@ class L2SideOrion(Process):
                 continue
             if assignment.migration_slot is not None:
                 continue  # A migration is already in flight.
-            if assignment.secondary_phy is None:
+            if notification.phy_id in assignment.failed_phys:
+                # Already accounted: a denied primary stays failed until
+                # an operator revives it — duplicate notifications must
+                # not inflate counters or claim a re-warmed pool seat.
+                continue
+            dest = self._failover_dest(assignment)
+            if dest is None:
                 # Degraded mode: the cell is down until an operator
                 # intervenes — make that observable instead of silent.
-                self.stats.failovers_impossible += 1
-                if self.trace is not None:
-                    self.trace.record(
-                        self.now,
-                        "orion.failover_impossible",
-                        cell=assignment.cell_id,
-                        phy=notification.phy_id,
-                    )
+                self._note_failover_impossible(assignment, notification.phy_id)
                 continue
             self.stats.failovers_handled += 1
             self._start_migration(
                 assignment,
-                dest=assignment.secondary_phy,
+                dest=dest,
                 boundary=self.slot_clock.slot_at(self.now)
                 + self.config.failover_slot_margin,
                 failover=True,
+            )
+
+    def _failover_dest(self, assignment: CellAssignment) -> Optional[int]:
+        """The standby to promote for a failover, or ``None`` when the
+        cell is degraded — no standby, or the pooled-standby gate denied
+        the warm seat (shared pool exhausted)."""
+        if assignment.secondary_phy is None:
+            return None
+        if self.standby_gate is not None and not self.standby_gate(assignment):
+            return None
+        return assignment.secondary_phy
+
+    def _note_failover_impossible(
+        self, assignment: CellAssignment, phy_id: int
+    ) -> None:
+        self.stats.failovers_impossible += 1
+        if self.standby_gate is not None:
+            # Pooled-standby mode: pin the dead primary so the same
+            # failure is counted exactly once across the notification and
+            # watchdog paths, however many duplicates are in flight.
+            assignment.failed_phys.add(phy_id)
+        if self.trace is not None:
+            self.trace.record(
+                self.now,
+                "orion.failover_impossible",
+                cell=assignment.cell_id,
+                phy=phy_id,
             )
 
     def planned_migration(self, cell_id: int, at_slot: Optional[int] = None) -> int:
@@ -765,6 +793,9 @@ class L2SideOrion(Process):
         assignment = self.cells[cell_id]
         if assignment.stored_config is None:
             raise RuntimeError(f"cell {cell_id} has no stored initialization")
+        # The operator standing a server back up clears its failure record
+        # (mirrors the injector's revive path) so it is eligible again.
+        assignment.failed_phys.discard(phy_id)
         assignment.secondary_phy = phy_id
         self._send_to_phy(phy_id, assignment.stored_config)
         self._send_to_phy(phy_id, StartRequest(cell_id=cell_id))

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Protocol, runtime_checkable
 
 from repro.checkpoint import soak as soak_experiment
+from repro.fleet import experiment as fleet_experiment
 from repro.experiments import (
     fig3_vm_migration,
     fig8_video,
@@ -214,6 +215,13 @@ register(ExperimentSpec(
     },
 ))
 register(ExperimentSpec(
+    name="fleet",
+    description="metro fleet availability vs pooled standby count",
+    default_duration_s=0.0,
+    module=fleet_experiment,
+    cli_params=lambda args: {"jobs": args.jobs, "quick": args.quick},
+))
+register(ExperimentSpec(
     name="sec86",
     description="switch resources + inter-packet gap",
     default_duration_s=3.0,
@@ -241,6 +249,7 @@ __all__ = [
     "sec85_overhead",
     "sec86_switch",
     "soak_experiment",
+    "fleet_experiment",
     "ablations",
     "ext_massive_mimo",
 ]

@@ -1,0 +1,206 @@
+"""Fleet composer: N island cells on one event loop, pool-gated failover.
+
+Each fleet cell is built by the standard single-cell builder
+(:func:`repro.cell.deployment.build_slingshot_cell`) with its own RNG
+registry, trace recorder, switch, middlebox, RU, and L2 — an *island*
+sharing only the simulator's event loop with its siblings.  Because no
+state crosses island boundaries and canonical traces factor out
+same-timestamp serialization, every cell's trace is byte-identical to a
+standalone run of the same config — the property the tracer-UE
+differential test pins.
+
+The composer's own additions sit beside the islands: the shared
+:class:`~repro.fleet.pool.StandbyPool` gating failover promotions, and
+the :class:`~repro.fleet.population.FleetPopulation` cohort model
+advancing the ~10⁶-user byte accounting one event per epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cell.config import CellConfig, UeProfile
+from repro.cell.deployment import SlingshotCell, build_slingshot_cell
+from repro.core.fh_middlebox import MiddleboxConfig
+from repro.fleet.pool import PoolGate, StandbyPool
+from repro.fleet.population import (
+    FleetFailoverHook,
+    FleetPopulation,
+    sample_tracer_cells,
+)
+from repro.net.p4.resources import PipelineResourceModel, ResourceUsage
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.sim.units import MS
+
+#: Deterministic per-cell seed derivation: cells of one fleet draw from
+#: disjoint seed points, and cell ``i`` of fleet seed ``s`` always gets
+#: the same value (tests rebuild standalone cells from it).
+FLEET_CELL_SEED_STRIDE = 10_007
+
+
+def fleet_cell_seed(fleet_seed: int, cell_index: int) -> int:
+    return fleet_seed + FLEET_CELL_SEED_STRIDE * (cell_index + 1)
+
+
+class FleetBudgetError(ValueError):
+    """The requested fleet exceeds the P4 pipeline's §8.6 envelope."""
+
+
+def validate_fleet_budget(
+    num_cells: int, phys_per_cell: int = 2
+) -> ResourceUsage:
+    """Check a fleet against the switch's 256-RU/256-PHY directories and
+    the Tofino pipeline resource model; raise with every overflow listed."""
+    mbox = MiddleboxConfig()
+    num_rus = num_cells
+    num_phys = num_cells * phys_per_cell
+    problems: List[str] = []
+    if num_rus > mbox.max_rus:
+        problems.append(f"{num_rus} RUs > ru_id_directory capacity {mbox.max_rus}")
+    if num_phys > mbox.max_phys:
+        problems.append(
+            f"{num_phys} PHYs > phy_id_directory capacity {mbox.max_phys}"
+        )
+    usage = PipelineResourceModel().usage(
+        min(num_rus, mbox.max_rus), min(num_phys, mbox.max_phys)
+    )
+    for resource in sorted(usage.fraction):
+        if usage.fraction[resource] >= 1.0:
+            problems.append(
+                f"pipeline resource {resource} at "
+                f"{usage.percent(resource):.1f}% of the Tofino budget"
+            )
+    if problems:
+        raise FleetBudgetError(
+            f"fleet of {num_cells} cells x {phys_per_cell} PHYs does not fit "
+            f"the P4 envelope: " + "; ".join(problems)
+        )
+    return usage
+
+
+@dataclass
+class FleetConfig:
+    """Shape of one composed fleet."""
+
+    seed: int = 0
+    num_cells: int = 12
+    #: M in N:M — warm standby capacity tokens shared by all cells.
+    standby_pool_size: int = 2
+    #: Aggregate (cohort-modelled) users per cell.
+    users_per_cell: int = 10_000
+    #: Cells expanded to full per-UE fidelity (sampled from ``fleet.tracers``).
+    tracer_cells: int = 0
+    #: UE profiles given to each tracer cell (None: the single-cell default).
+    tracer_ue_profiles: Optional[List[UeProfile]] = None
+    #: Replacement-standby provisioning time after a pool claim.
+    rewarm_ns: int = 40 * MS
+    #: Cohort accounting period.
+    epoch_ns: int = 10 * MS
+    tie_shuffle_seed: Optional[int] = None
+    phys_per_cell: int = 2
+
+    def cell_config(self, cell_index: int, tracer: bool) -> CellConfig:
+        """The standalone-equivalent config of one island cell."""
+        if tracer:
+            profiles = self.tracer_ue_profiles
+            if profiles is None:
+                return CellConfig(
+                    seed=fleet_cell_seed(self.seed, cell_index),
+                    num_phy_servers=self.phys_per_cell,
+                )
+            return CellConfig(
+                seed=fleet_cell_seed(self.seed, cell_index),
+                ue_profiles=list(profiles),
+                num_phy_servers=self.phys_per_cell,
+            )
+        return CellConfig(
+            seed=fleet_cell_seed(self.seed, cell_index),
+            ue_profiles=[],
+            num_phy_servers=self.phys_per_cell,
+        )
+
+
+@dataclass
+class FleetHarness:
+    """One composed fleet: islands + pool + population on one sim."""
+
+    config: FleetConfig
+    sim: Simulator
+    #: Fleet-level recorder: pool and population events only — island
+    #: cells keep their own recorders (see :func:`fleet_digest`).
+    trace: TraceRecorder
+    rng: RngRegistry
+    pool: StandbyPool
+    population: FleetPopulation
+    cells: List[SlingshotCell]
+    tracer_indices: Tuple[int, ...] = ()
+    gates: List[PoolGate] = field(default_factory=list)
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def run_until(self, time_ns: int) -> None:
+        self.sim.run_until(time_ns)
+
+    def kill_cell_primary_at(self, cell_index: int, time_ns: int) -> None:
+        self.cells[cell_index].kill_phy_at(0, time_ns)
+
+
+def build_fleet(config: Optional[FleetConfig] = None) -> FleetHarness:
+    """Compose, validate, and start a fleet (built at sim time zero)."""
+    config = config or FleetConfig()
+    validate_fleet_budget(config.num_cells, config.phys_per_cell)
+    sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
+    trace = TraceRecorder()
+    rng = RngRegistry(seed=config.seed)
+    tracer_indices = sample_tracer_cells(
+        rng, config.num_cells, config.tracer_cells
+    )
+    pool = StandbyPool(
+        sim, size=config.standby_pool_size, rewarm_ns=config.rewarm_ns, trace=trace
+    )
+    population = FleetPopulation(
+        sim=sim,
+        trace=trace,
+        num_cells=config.num_cells,
+        users_per_cell=config.users_per_cell,
+        epoch_ns=config.epoch_ns,
+    )
+    cells: List[SlingshotCell] = []
+    gates: List[PoolGate] = []
+    for cell_index in range(config.num_cells):
+        cell_cfg = config.cell_config(
+            cell_index, tracer=cell_index in tracer_indices
+        )
+        cell = build_slingshot_cell(cell_cfg, sim=sim)
+        gate = PoolGate(pool, cell_index, on_decision=population.on_pool_decision)
+        cell.l2_orion.standby_gate = gate
+        cell.l2_orion.on_failover = FleetFailoverHook(population, cell_index)
+        cells.append(cell)
+        gates.append(gate)
+    population.start()
+    return FleetHarness(
+        config=config,
+        sim=sim,
+        trace=trace,
+        rng=rng,
+        pool=pool,
+        population=population,
+        cells=cells,
+        tracer_indices=tracer_indices,
+        gates=gates,
+    )
+
+
+def fleet_digest(harness: FleetHarness) -> str:
+    """Canonical fleet digest: fold of the fleet trace and every island's
+    trace, in cell order — bit-identical iff every component run is."""
+    hasher = hashlib.sha256()
+    hasher.update(harness.trace.digest().encode("ascii"))
+    for cell in harness.cells:
+        hasher.update(cell.trace.digest().encode("ascii"))
+    return hasher.hexdigest()

@@ -1,0 +1,40 @@
+"""The registered ``fleet`` experiment: availability vs standby count.
+
+A thin adapter over :mod:`repro.fleet.campaign` matching the experiment
+registry's ``run``/``summarize`` protocol, so the fleet curve is
+reachable both as ``python -m repro fleet`` (the harness CLI with
+``--check``/``--out``/``--jobs``) and as a registered experiment
+(``python -m repro all`` coverage, registry-driven docs and tests).
+"""
+
+from __future__ import annotations
+
+from repro.fleet.campaign import FleetReport, run_fleet_campaign
+
+name = "fleet"
+
+
+def run(jobs: int = 1, quick: bool = False) -> FleetReport:
+    """Run the fleet availability campaign (full or ``--quick`` matrix)."""
+    return run_fleet_campaign(quick=quick, jobs=jobs)
+
+
+def summarize(result: FleetReport) -> str:
+    """Availability-vs-standby-count curve, one line per fault class."""
+    lines = [
+        "fleet availability vs pooled standby count "
+        "(10 cells, 1M users, mean over seeds):"
+    ]
+    for fault_class, by_pool in result.curve().items():
+        points = "  ".join(
+            f"M={pool_size}: {availability:.6f}"
+            for pool_size, availability in sorted(by_pool.items())
+        )
+        lines.append(f"  {fault_class:<14} {points}")
+    failed = sum(1 for r in result.runs if not r.passed)
+    lines.append(
+        f"  {len(result.runs)} runs, {failed} accounting failures; "
+        + ("curve monotone in M" if not result.curve_problems()
+           else "CURVE PROBLEMS: " + "; ".join(result.curve_problems()))
+    )
+    return "\n".join(lines)

@@ -92,6 +92,18 @@ def run_forked_scenario_shard(payload: Tuple[Any, int, str]) -> Any:
     return run_forked_scenario(scenario, seed, checkpoint)
 
 
+def run_fleet_shard(payload: Tuple[str, int, int]) -> Any:
+    """One fleet-campaign ``(fault_class, pool_size, seed)`` run.
+
+    Returns the :class:`~repro.fleet.campaign.FleetRun` verdict — plain
+    data, identical whether computed in-process or in a worker.
+    """
+    from repro.fleet.campaign import run_fleet
+
+    fault_class, pool_size, seed = payload
+    return run_fleet(fault_class, pool_size, seed)
+
+
 def run_perf_benchmark_shard(payload: Tuple[str, bool]) -> Dict[str, Any]:
     """One named perf-catalog benchmark, timed inside the worker."""
     from repro.perf.benchmarks import CATALOG

@@ -27,8 +27,11 @@ from repro.faults.campaign import (
     drive_to,
     judge_execution,
 )
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, ProcessFaultSpec
 from repro.faults.scenarios import RUN_END_NS, scenario_by_name
 from repro.faults.soak import SoakConfig
+from repro.fleet import FleetConfig, build_fleet, fleet_digest
 from repro.parallel import run_shards
 from repro.sim.units import MS
 
@@ -277,6 +280,70 @@ class TestSoakCheckGate:
         output = capsys.readouterr().out
         assert exit_code == 0, f"soak --check --quick failed:\n{output}"
         assert "soak check passed" in output
+
+
+@pytest.mark.slow
+class TestFleetMidRecoveryCheckpoint:
+    """A composed fleet — islands, pooled standbys, cohort population —
+    checkpoints mid-recovery and replays bit-identically (DESIGN.md §14)."""
+
+    CAPTURE_NS = 60 * MS + 200_000  # after the crash, before the commit
+    END_NS = 150 * MS
+
+    def _build(self):
+        harness = build_fleet(
+            FleetConfig(
+                seed=21,
+                num_cells=3,
+                standby_pool_size=1,
+                users_per_cell=200,
+                rewarm_ns=30 * MS,
+            )
+        )
+        # Two crashes against one token: the second lands after capture,
+        # so the restored run must replay a promotion *and* an exhaustion.
+        for cell_index, at_ns in ((0, 60 * MS), (1, 75 * MS)):
+            plan = FaultPlan(
+                name=f"ckpt-fleet-cell{cell_index}",
+                process_faults=(
+                    ProcessFaultSpec(phy_id=0, kind="crash", at_ns=at_ns),
+                ),
+            )
+            FaultInjector(harness.cells[cell_index], plan).arm()
+        return harness
+
+    def test_fleet_restores_mid_recovery_digest_identically(self):
+        harness = self._build()
+        harness.run_until(self.CAPTURE_NS)
+        checkpoint = Checkpoint.capture(harness, label="fleet mid-recovery")
+        assert checkpoint.meta.sim_now_ns == self.CAPTURE_NS
+        assert checkpoint.meta.classes.get("repro.fleet.pool.StandbyPool") == 1
+
+        harness.run_until(self.END_NS)
+        continued_digest = fleet_digest(harness)
+        assert harness.pool.promotions == 1
+        assert harness.pool.exhaustions == 1
+
+        restored = checkpoint.restore()
+        assert restored.sim.now == self.CAPTURE_NS
+        restored.run_until(self.END_NS)
+        assert fleet_digest(restored) == continued_digest
+        assert restored.pool.stats_dict() == harness.pool.stats_dict()
+        assert restored.population.summary() == harness.population.summary()
+        for cell, twin in zip(harness.cells, restored.cells):
+            assert twin.trace.digest() == cell.trace.digest()
+
+    def test_fleet_checkpoint_save_load_round_trip(self, tmp_path):
+        harness = self._build()
+        harness.run_until(self.CAPTURE_NS)
+        checkpoint = Checkpoint.capture(harness, label="fleet disk")
+        path = tmp_path / "fleet.ckpt"
+        checkpoint.save(path)
+        harness.run_until(self.END_NS)
+
+        restored = Checkpoint.load(path).restore()
+        restored.run_until(self.END_NS)
+        assert fleet_digest(restored) == fleet_digest(harness)
 
 
 class TestSoakStatePicklability:

@@ -150,8 +150,34 @@ class TestStreamOwnership:
 
     def test_declared_namespaces_cover_real_tree(self):
         heads = {ns.head for ns in NAMESPACES}
-        assert {"faults", "phy", "ptp", "ue", "app", "perf"} <= heads
+        assert {"faults", "phy", "ptp", "ue", "app", "perf", "fleet"} <= heads
         assert COMPOSITION_ROOTS == {"cell", "experiments"}
+
+    def test_fleet_namespace_is_strict(self):
+        fleet = next(ns for ns in NAMESPACES if ns.head == "fleet")
+        assert fleet.strict
+        assert fleet.owner == "fleet"
+
+    def test_stream003_fleet_draw_outside_fleet_flagged(self):
+        # ``fleet.*`` is strict: only the fleet subsystem may draw it.
+        program = program_of(
+            (
+                "src/repro/ue/rogue.py",
+                'def f(rng):\n    return rng.stream("fleet.tracers")\n',
+            )
+        )
+        findings = run_program_rules(program)
+        assert [f.rule_id for f in findings] == ["STREAM003"]
+
+    def test_stream003_fleet_draw_inside_fleet_clean(self):
+        program = program_of(
+            (
+                "src/repro/fleet/sampling.py",
+                'def f(rng):\n    return rng.stream("fleet.tracers")\n',
+            )
+        )
+        findings = run_program_rules(program)
+        assert not [f for f in findings if f.rule_id == "STREAM003"]
 
     def test_stream004_cross_subsystem_collision(self):
         program = program_of(
@@ -216,6 +242,18 @@ class TestStreamOwnership:
         assert mapping["faults.link.*"]["owner"] == "faults"
         assert mapping["phy*"]["owner"] == "cell"
         assert mapping["app.video.*"]["owner"] == "apps"
+        # The fleet tracer-sampling stream is owned by the fleet package.
+        fleet_row = mapping["fleet.tracers"]
+        assert fleet_row["owner"] == "fleet"
+        assert [s["module"] for s in fleet_row["sites"]] == [
+            "repro.fleet.population"
+        ]
+        # The property-generation stream stays inside the faults family.
+        prop_row = mapping["faults.prop"]
+        assert prop_row["owner"] == "faults"
+        assert [s["module"] for s in prop_row["sites"]] == [
+            "repro.faults.proptest"
+        ]
         for entry in mapping.values():
             assert entry["owner"] is not None
 
