@@ -32,6 +32,7 @@ STATE_MANIFEST: Dict[str, Tuple[str, ...]] = {
     'repro.fapi.channels.ShmChannel': ('_pending', 'endpoint', 'messages_sent'),
     'repro.faults.injector.FaultInjector': ('_armed', 'impairments'),
     'repro.faults.soak.ProbeGapMonitor': ('deliveries', 'last_rx_ns', 'max_gap_ns'),
+    'repro.fleet.phy_backend.FleetPhyBackend': ('_cache', '_cache_time', '_planned'),
     'repro.fleet.pool.StandbyPool': ('available', 'exhaustions', 'promotions', 'rewarmed'),
     'repro.fleet.population.FleetPopulation': ('cell_down', 'degraded_user_epochs', 'epochs', 'served_user_epochs'),
     'repro.fronthaul.air.AirInterface': ('_ports',),
@@ -57,7 +58,8 @@ STATE_MANIFEST: Dict[str, Tuple[str, ...]] = {
     'repro.phy.process.PhyProcess': ('_pending', '_tick_handle', 'alive', 'cells', 'codec', 'hung', 'service_inflation_ns', 'snr_filter'),
     'repro.phy.snr_filter.SnrMovingAverage': ('_state',),
     'repro.sim.engine.EventHandle': ('cancelled',),
-    'repro.sim.engine.Simulator': ('_cancelled_in_queue', '_events_processed', '_now', '_queue', '_running', 'compactions'),
+    'repro.sim.engine.PeriodicHandle': ('cancelled', 'epoch', 'next_time'),
+    'repro.sim.engine.Simulator': ('_cancelled_in_queue', '_events_processed', '_now', '_queue', '_running', '_wheel', '_wheel_garbage', '_wheel_size', '_wheel_times', 'compactions', 'wheel_compactions'),
     'repro.sim.process.PeriodicProcess': ('_next_tick', '_stopped', 'tick_count'),
     'repro.sim.rng.BatchedIntegers': ('_buf', '_pos'),
     'repro.sim.rng.BatchedUniform': ('_buf', '_pos'),

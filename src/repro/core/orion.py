@@ -303,14 +303,18 @@ class PhySideOrion(Process):
         assert self.slot_clock is not None
         next_slot = self.slot_clock.slot_at(self.now + self.watchdog_lead_ns) + 1
         fire_at = self.slot_clock.slot_start(next_slot) - self.watchdog_lead_ns
-        self.sim.at(
-            fire_at, self._watchdog_tick, next_slot, label=f"{self.name}.watchdog"
+        self.sim.schedule_periodic(
+            self.slot_clock.slot_duration_ns,
+            self._watchdog_tick,
+            first_at=fire_at,
+            label=f"{self.name}.watchdog",
         )
 
-    def _watchdog_tick(self, abs_slot: int) -> None:
-        """Just before the PHY needs slot ``abs_slot``'s requests, check
+    def _watchdog_tick(self) -> None:
+        """Just before the PHY needs the upcoming slot's requests, check
         that they arrived; inject nulls for any that did not."""
-        self._arm_watchdog()
+        assert self.slot_clock is not None
+        abs_slot = self.slot_clock.slot_at(self.now + self.watchdog_lead_ns)
         if self.shm_to_phy is None:
             return
         # Sorted, not insertion order: the dict is populated in arrival

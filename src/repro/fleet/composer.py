@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 from repro.cell.config import CellConfig, UeProfile
 from repro.cell.deployment import SlingshotCell, build_slingshot_cell
 from repro.core.fh_middlebox import MiddleboxConfig
+from repro.fleet.phy_backend import FleetPhyBackend
 from repro.fleet.pool import PoolGate, StandbyPool
 from repro.fleet.population import (
     FleetFailoverHook,
@@ -102,6 +103,10 @@ class FleetConfig:
     epoch_ns: int = 10 * MS
     tie_shuffle_seed: Optional[int] = None
     phys_per_cell: int = 2
+    #: Encode backend: "per-cell" (each PHY batches its own slot) or
+    #: "vectorized" (one fleet-wide kernel invocation per completion
+    #: instant — byte-identical, see :mod:`repro.fleet.phy_backend`).
+    phy_backend: str = "per-cell"
 
     def cell_config(self, cell_index: int, tracer: bool) -> CellConfig:
         """The standalone-equivalent config of one island cell."""
@@ -139,6 +144,8 @@ class FleetHarness:
     cells: List[SlingshotCell]
     tracer_indices: Tuple[int, ...] = ()
     gates: List[PoolGate] = field(default_factory=list)
+    #: The shared vectorized encode backend (None on the per-cell path).
+    phy_backend: Optional[FleetPhyBackend] = None
 
     def run_for(self, duration_ns: int) -> None:
         self.sim.run_for(duration_ns)
@@ -150,11 +157,24 @@ class FleetHarness:
         self.cells[cell_index].kill_phy_at(0, time_ns)
 
 
-def build_fleet(config: Optional[FleetConfig] = None) -> FleetHarness:
-    """Compose, validate, and start a fleet (built at sim time zero)."""
+def build_fleet(
+    config: Optional[FleetConfig] = None, sim: Optional[Simulator] = None
+) -> FleetHarness:
+    """Compose, validate, and start a fleet (built at sim time zero).
+
+    ``sim`` lets a caller supply the event engine (the perf harness runs
+    the same fleet on the frozen legacy engine for its baseline pair);
+    default is a fresh :class:`Simulator`.
+    """
     config = config or FleetConfig()
+    if config.phy_backend not in ("per-cell", "vectorized"):
+        raise ValueError(
+            f"unknown phy_backend {config.phy_backend!r}; "
+            "expected 'per-cell' or 'vectorized'"
+        )
     validate_fleet_budget(config.num_cells, config.phys_per_cell)
-    sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
+    if sim is None:
+        sim = Simulator(tie_shuffle_seed=config.tie_shuffle_seed)
     trace = TraceRecorder()
     rng = RngRegistry(seed=config.seed)
     tracer_indices = sample_tracer_cells(
@@ -170,6 +190,7 @@ def build_fleet(config: Optional[FleetConfig] = None) -> FleetHarness:
         users_per_cell=config.users_per_cell,
         epoch_ns=config.epoch_ns,
     )
+    backend = FleetPhyBackend() if config.phy_backend == "vectorized" else None
     cells: List[SlingshotCell] = []
     gates: List[PoolGate] = []
     for cell_index in range(config.num_cells):
@@ -180,6 +201,9 @@ def build_fleet(config: Optional[FleetConfig] = None) -> FleetHarness:
         gate = PoolGate(pool, cell_index, on_decision=population.on_pool_decision)
         cell.l2_orion.standby_gate = gate
         cell.l2_orion.on_failover = FleetFailoverHook(population, cell_index)
+        if backend is not None:
+            for server in cell.phy_servers:
+                server.phy.phy_backend = backend
         cells.append(cell)
         gates.append(gate)
     population.start()
@@ -193,6 +217,7 @@ def build_fleet(config: Optional[FleetConfig] = None) -> FleetHarness:
         cells=cells,
         tracer_indices=tracer_indices,
         gates=gates,
+        phy_backend=backend,
     )
 
 

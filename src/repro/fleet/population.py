@@ -89,7 +89,9 @@ class FleetPopulation:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.sim.schedule(self.epoch_ns, self._epoch_tick, label="fleet.pop.epoch")
+        self.sim.schedule_periodic(
+            self.epoch_ns, self._epoch_tick, label="fleet.pop.epoch"
+        )
 
     def _epoch_tick(self) -> None:
         """Advance every cohort one epoch — one event for the whole fleet."""
@@ -115,7 +117,6 @@ class FleetPopulation:
                 served_users=served_users,
                 degraded_users=degraded_users,
             )
-        self.sim.schedule(self.epoch_ns, self._epoch_tick, label="fleet.pop.epoch")
 
     # ------------------------------------------------------------------
     # Degradation hooks (driven by the pool gate and failover completion)

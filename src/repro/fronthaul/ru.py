@@ -100,10 +100,10 @@ class RadioUnit(Process):
             return
         self._started = True
         next_slot = self.slot_clock.slot_at(self.now) + 1
-        self.sim.at(
-            self.slot_clock.slot_start(next_slot),
+        self.sim.schedule_periodic(
+            self.slot_clock.slot_duration_ns,
             self._slot_boundary,
-            next_slot,
+            first_at=self.slot_clock.slot_start(next_slot),
             label=f"{self.name}.slot",
         )
 
@@ -152,15 +152,11 @@ class RadioUnit(Process):
     # ------------------------------------------------------------------
     # Per-slot operation
     # ------------------------------------------------------------------
-    def _slot_boundary(self, abs_slot: int) -> None:
-        # Schedule the next boundary first so a failure in this slot's
+    def _slot_boundary(self) -> None:
+        # Fires exactly at each slot boundary; the wheel re-arms the next
+        # one before this callback runs, so a failure in this slot's
         # handling can never stop the radio.
-        self.sim.at(
-            self.slot_clock.slot_start(abs_slot + 1),
-            self._slot_boundary,
-            abs_slot + 1,
-            label=f"{self.name}.slot",
-        )
+        abs_slot = self.slot_clock.slot_at(self.now)
         slot_type = self.tdd.slot_type(abs_slot)
         # Give the PHY's packets a grace window past the slot start, then act.
         self.call_after(

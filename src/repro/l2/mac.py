@@ -246,10 +246,10 @@ class L2Process(Process):
             )
             self.fapi_tx.send(StartRequest(cell_id=self.cell_id))
         next_slot = self.slot_clock.slot_at(self.now) + 1
-        self.sim.at(
-            self.slot_clock.slot_start(next_slot) + 10 * US,
+        self.sim.schedule_periodic(
+            self.slot_clock.slot_duration_ns,
             self._slot_tick,
-            next_slot,
+            first_at=self.slot_clock.slot_start(next_slot) + 10 * US,
             label=f"{self.name}.tick",
         )
 
@@ -373,13 +373,9 @@ class L2Process(Process):
     # ------------------------------------------------------------------
     # Slot engine
     # ------------------------------------------------------------------
-    def _slot_tick(self, abs_slot: int) -> None:
-        self.sim.at(
-            self.slot_clock.slot_start(abs_slot + 1) + 10 * US,
-            self._slot_tick,
-            abs_slot + 1,
-            label=f"{self.name}.tick",
-        )
+    def _slot_tick(self) -> None:
+        # Fires 10 µs into each slot, so the current slot is slot_at(now).
+        abs_slot = self.slot_clock.slot_at(self.now)
         target = abs_slot + self.config.schedule_ahead_slots
         self._expire_harq(abs_slot)
         self._maybe_emit_status(abs_slot)

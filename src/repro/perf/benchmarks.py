@@ -6,11 +6,16 @@ framing, link delivery); macro benchmarks time the full-cell scenarios
 from :mod:`repro.perf.scenarios` and also report the sim-time/wall-time
 ratio and the scenario's canonical trace digest.
 
-Two catalog entries exist purely as *baselines*: ``engine_churn_legacy``
-runs the churn workload on the frozen pre-optimization engine
-(:mod:`repro.perf.legacy`) and ``fapi_codec_reference`` runs the codec
-workload through the normative slow paths — the harness derives the
-optimization speedups from these pairs, and ``--check`` gates on them.
+Several catalog entries exist purely as *baselines*:
+``engine_churn_legacy`` and ``engine_churn_wheel_legacy`` run their
+workloads on the frozen pre-optimization engine
+(:mod:`repro.perf.legacy`), ``fapi_codec_reference`` runs the codec
+workload through the normative slow paths, and ``fleet_slot_legacy``
+drives a full composed fleet on the legacy engine with per-cell encode —
+the harness derives the optimization speedups from these pairs, and
+``--check`` gates on them. The ``fleet_slot`` pair is ``fanout=False``
+not because it manages a pool but because its legs form a measured
+*ratio*: co-running shards would perturb the two legs unequally.
 
 Every workload is deterministic: sizes are fixed per (quick, full) mode,
 randomized message content comes from a reserved
@@ -143,6 +148,81 @@ def _run_engine_cancel_watchdog(quick: bool) -> RawRun:
             "max_heap_entries": float(state["max_heap"]),
             "timeouts_fired": float(state["timeouts"]),
         },
+    )
+
+
+def _best_of(runner: Callable[[], RawRun], repeats: int) -> RawRun:
+    """Min-wall-time of ``repeats`` runs of a deterministic workload.
+
+    The gated speedup pairs use this in full mode: their legs do
+    identical event counts every repeat (and identical digests, when they
+    record one), so keeping the fastest repeat per leg strips one-sided
+    scheduler noise from the measured ratio without biasing it."""
+    best: Optional[RawRun] = None
+    for _ in range(repeats):
+        raw = runner()
+        if best is None or raw.wall_seconds < best.wall_seconds:
+            best = raw
+    assert best is not None
+    return best
+
+
+def _periodic_workload(sim: Any, duration_ns: int, lanes: int = 256) -> RawRun:
+    """Periodic slot-tick lanes plus crash/restart-style cancel/re-arm
+    churn: the steady state every deployed cell imposes on the engine.
+    On the live engine the lanes ride the slot wheel (O(1) re-arm, epoch
+    cancellation); on the legacy engine the ``schedule_periodic`` adapter
+    self-reschedules through the heap — the pre-wheel cost this pair
+    keeps measured. Runs on any engine exposing ``schedule_periodic`` /
+    ``run_for`` / ``events_processed``."""
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    handles = [
+        sim.schedule_periodic(100 + (i & 7), tick, label=f"lane{i}")
+        for i in range(lanes)
+    ]
+    cursor = [0]
+
+    def churn() -> None:
+        # The crash/restart pattern: take a lane down, bring it back.
+        i = cursor[0] % lanes
+        cursor[0] += 1
+        handle = handles[i]
+        handle.cancel()
+        handle.re_arm(start_offset=100 + (i & 7))
+
+    sim.schedule_periodic(900, churn, label="churn")
+    start = wall_ns()
+    sim.run_for(duration_ns)
+    wall = (wall_ns() - start) / 1e9
+    extra: Dict[str, float] = {"ticks_fired": float(fired[0])}
+    if hasattr(sim, "wheel_compactions"):
+        extra["wheel_compactions"] = float(sim.wheel_compactions)
+        extra["wheel_entries"] = float(sim.wheel_entries)
+    return RawRun(
+        events=sim.events_processed, wall_seconds=wall, sim_ns=sim.now,
+        extra=extra,
+    )
+
+
+def _run_engine_churn_wheel(quick: bool) -> RawRun:
+    return _best_of(
+        lambda: _periodic_workload(
+            Simulator(), duration_ns=60_000 if quick else 150_000
+        ),
+        repeats=1 if quick else 2,
+    )
+
+
+def _run_engine_churn_wheel_legacy(quick: bool) -> RawRun:
+    return _best_of(
+        lambda: _periodic_workload(
+            LegacySimulator(), duration_ns=60_000 if quick else 150_000
+        ),
+        repeats=1 if quick else 2,
     )
 
 
@@ -474,6 +554,67 @@ def _run_campaign_shards_parallel(quick: bool) -> RawRun:
 
 
 # ----------------------------------------------------------------------
+# Fleet slot workload (the per-TTI hot-path pair)
+# ----------------------------------------------------------------------
+#: Shape of the fleet both ``fleet_slot`` legs run: big enough that the
+#: per-TTI periodic machinery and the encode path dominate, small enough
+#: that the pair stays a single-digit-seconds benchmark.
+_FLEET_BENCH_CELLS = 64
+_FLEET_BENCH_TRACERS = 2
+_FLEET_BENCH_SEED = 11
+_FLEET_BENCH_RUN_NS = 30_000_000
+
+
+def _fleet_slot_run(legacy: bool) -> RawRun:
+    """One composed fleet driven for 30 ms of sim time.
+
+    The optimized leg is the live engine (slot-wheel lanes) with the
+    vectorized fleet-PHY backend; the baseline leg is the frozen legacy
+    engine (self-rescheduling periodics) with per-cell encode — the full
+    pre-optimization per-TTI hot path. Build time is excluded from the
+    timing; the recorded digest is the canonical fleet digest, which is
+    bit-identical across the two legs (the differential tests pin this),
+    so the --check digest comparison doubles as the proof that neither
+    the wheel nor the backend changed behaviour."""
+    from repro.fleet.composer import FleetConfig, build_fleet, fleet_digest
+
+    config = FleetConfig(
+        seed=_FLEET_BENCH_SEED,
+        num_cells=_FLEET_BENCH_CELLS,
+        tracer_cells=_FLEET_BENCH_TRACERS,
+        phy_backend="per-cell" if legacy else "vectorized",
+    )
+    sim = LegacySimulator() if legacy else None
+    harness = build_fleet(config, sim=sim)
+    start = wall_ns()
+    harness.run_for(_FLEET_BENCH_RUN_NS)
+    wall = (wall_ns() - start) / 1e9
+    extra: Dict[str, float] = {"cells": float(_FLEET_BENCH_CELLS)}
+    backend = harness.phy_backend
+    if backend is not None:
+        extra["kernel_invocations"] = float(backend.stats.kernel_invocations)
+        extra["blocks_encoded"] = float(backend.stats.blocks_encoded)
+        extra["cache_hits"] = float(backend.stats.cache_hits)
+    return RawRun(
+        events=harness.sim.events_processed,
+        wall_seconds=wall,
+        sim_ns=harness.sim.now,
+        digest=fleet_digest(harness),
+        extra=extra,
+    )
+
+
+def _run_fleet_slot(quick: bool) -> RawRun:
+    # Same fleet in quick and full mode: the digest must stay comparable
+    # (quick only drops the second repeat).
+    return _best_of(lambda: _fleet_slot_run(legacy=False), 1 if quick else 2)
+
+
+def _run_fleet_slot_legacy(quick: bool) -> RawRun:
+    return _best_of(lambda: _fleet_slot_run(legacy=True), 1 if quick else 2)
+
+
+# ----------------------------------------------------------------------
 # Macro scenarios
 # ----------------------------------------------------------------------
 def _macro_runner(scenario_name: str) -> Callable[[bool], RawRun]:
@@ -512,6 +653,12 @@ CATALOG: Dict[str, BenchmarkSpec] = {
         _spec("engine_churn_legacy", "micro",
               "same churn on the frozen pre-optimization engine (baseline)",
               _run_engine_churn_legacy),
+        _spec("engine_churn_wheel", "micro",
+              "periodic slot-tick lanes + cancel/re-arm churn (wheel lane)",
+              _run_engine_churn_wheel),
+        _spec("engine_churn_wheel_legacy", "micro",
+              "same lanes self-rescheduling through the legacy heap (baseline)",
+              _run_engine_churn_wheel_legacy),
         _spec("engine_cancel_watchdog", "micro",
               "watchdog cancel/re-arm load (heap compaction)",
               _run_engine_cancel_watchdog),
@@ -540,6 +687,13 @@ CATALOG: Dict[str, BenchmarkSpec] = {
               f"same shards on a {PARALLEL_BENCH_JOBS}-worker pool "
               "(digest-identical to serial)",
               _run_campaign_shards_parallel, fanout=False),
+        _spec("fleet_slot", "macro",
+              f"{_FLEET_BENCH_CELLS}-cell fleet, 30 ms: wheel lanes + "
+              "vectorized fleet-PHY backend",
+              _run_fleet_slot, fanout=False),
+        _spec("fleet_slot_legacy", "macro",
+              "same fleet on the legacy engine with per-cell encode (baseline)",
+              _run_fleet_slot_legacy, fanout=False),
         _spec("macro_fig9", "macro",
               "full cell: 3-UE ping through PHY failover (fig 9 shape)",
               _macro_runner("fig9"), DIGEST_SCENARIOS["fig9"]),

@@ -31,6 +31,14 @@ from repro.perf.sampler import PopSampler
 MIN_ENGINE_SPEEDUP = 1.3
 #: Relaxed gate for --quick runs (shorter workloads, noisier ratios).
 QUICK_MIN_ENGINE_SPEEDUP = 1.1
+#: Required speedup of the slot-wheel periodic lane over the legacy
+#: self-rescheduling idiom (the PR's headline engine claim).
+MIN_WHEEL_SPEEDUP = 2.0
+QUICK_MIN_WHEEL_SPEEDUP = 1.5
+#: Required speedup of the full per-TTI hot path (wheel lanes +
+#: vectorized fleet-PHY backend) over the legacy fleet, end to end.
+MIN_FLEET_SLOT_SPEEDUP = 1.5
+QUICK_MIN_FLEET_SLOT_SPEEDUP = 1.2
 #: Codec fast path must at least not be slower than the reference.
 MIN_CODEC_SPEEDUP = 1.0
 #: Batched PHY kernels must beat the per-block loop on a full slot.
@@ -44,8 +52,10 @@ MIN_PARALLEL_SPEEDUP = 1.8
 #: speedup name -> (optimized benchmark, baseline benchmark).
 SPEEDUP_PAIRS: Dict[str, tuple] = {
     "engine_churn": ("engine_churn", "engine_churn_legacy"),
+    "engine_churn_wheel": ("engine_churn_wheel", "engine_churn_wheel_legacy"),
     "fapi_codec": ("fapi_codec", "fapi_codec_reference"),
     "phy_slot_batch": ("phy_slot_batch", "phy_slot_scalar"),
+    "fleet_slot": ("fleet_slot", "fleet_slot_legacy"),
     "parallel_campaign": ("campaign_shards_parallel", "campaign_shards_serial"),
 }
 
@@ -305,10 +315,16 @@ def check_report(
     phy_gate = (
         QUICK_MIN_PHY_BATCH_SPEEDUP if current.quick else MIN_PHY_BATCH_SPEEDUP
     )
+    wheel_gate = QUICK_MIN_WHEEL_SPEEDUP if current.quick else MIN_WHEEL_SPEEDUP
+    fleet_gate = (
+        QUICK_MIN_FLEET_SLOT_SPEEDUP if current.quick else MIN_FLEET_SLOT_SPEEDUP
+    )
     gates = {
         "engine_churn": engine_gate,
+        "engine_churn_wheel": wheel_gate,
         "fapi_codec": MIN_CODEC_SPEEDUP,
         "phy_slot_batch": phy_gate,
+        "fleet_slot": fleet_gate,
     }
     parallel_result = current.results.get("campaign_shards_parallel")
     if parallel_result is not None:

@@ -12,7 +12,13 @@ silently slower simulator.
 
 Nothing outside :mod:`repro.perf` may import this module; it is not a
 fallback engine, and it intentionally does not track the live engine's
-API additions (``compactions``, ``queued_entries``, ``_pop``).
+API additions (``compactions``, ``_pop``, wheel diagnostics). The one
+deliberate exception: it grew ``run_for`` and a **self-rescheduling**
+``schedule_periodic`` adapter so the full deployment model (whose call
+sites now use the wheel lane) still builds and runs on this engine —
+the adapter re-arms through the heap on every occurrence, which is
+exactly the pre-wheel cost the ``engine_churn_wheel`` and ``fleet_slot``
+benchmark pairs measure against.
 """
 
 from __future__ import annotations
@@ -60,6 +66,71 @@ class LegacyEventHandle:
     @property
     def pending(self) -> bool:
         return not self.cancelled and not self.fired
+
+
+class LegacyPeriodicHandle:
+    """Self-rescheduling periodic adapter: every occurrence pays a full
+    heap push (and the cancel/re-arm pattern plants tombstones the legacy
+    engine never compacts). API-compatible with the live engine's
+    :class:`~repro.sim.engine.PeriodicHandle` so the whole deployment
+    model runs unchanged on this engine for baseline measurement."""
+
+    __slots__ = (
+        "sim", "period", "callback", "args", "cancelled", "fired", "label", "_next"
+    )
+
+    def __init__(
+        self,
+        sim: "LegacySimulator",
+        period: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        first_at: int,
+        label: str = "",
+    ) -> None:
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+        self._next = sim.at(first_at, self._fire, label=label)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        # Re-arm first, through the heap — the pre-wheel periodic idiom
+        # the live engine's wheel lane replaced (and PERF002 now flags).
+        self._next = self.sim.schedule(  # slinglint: disable=PERF002
+            self.period, self._fire, label=self.label
+        )
+        self.fired = True
+        self.callback(*self.args)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+
+    def re_arm(
+        self,
+        *,
+        start_offset: Optional[int] = None,
+        first_at: Optional[int] = None,
+    ) -> None:
+        if not self.cancelled:
+            raise RuntimeError("cannot re-arm a live legacy periodic")
+        if first_at is None:
+            offset = self.period if start_offset is None else start_offset
+            first_at = self.sim.now + offset
+        self.cancelled = False
+        self._next = self.sim.at(first_at, self._fire, label=self.label)
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled
 
 
 class LegacySimulator:
@@ -110,6 +181,24 @@ class LegacySimulator:
         heapq.heappush(self._queue, entry)
         return handle
 
+    def schedule_periodic(
+        self,
+        period: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_offset: Optional[int] = None,
+        first_at: Optional[int] = None,
+        label: str = "",
+    ) -> LegacyPeriodicHandle:
+        """Periodic work the pre-wheel way: a handle that re-schedules
+        itself through the heap on every occurrence. Draw-order-compatible
+        with the live wheel lane (the re-arm precedes the callback), so
+        FIFO trace digests match across engines."""
+        if first_at is None:
+            offset = period if start_offset is None else start_offset
+            first_at = self._now + offset
+        return LegacyPeriodicHandle(self, period, callback, args, first_at, label=label)
+
     def step(self) -> bool:
         while self._queue:
             entry = heapq.heappop(self._queue)
@@ -135,6 +224,9 @@ class LegacySimulator:
             self._running = False
         if self._now < end_time:
             self._now = end_time
+
+    def run_for(self, duration: int) -> None:
+        self.run_until(self._now + duration)
 
     def run(self) -> None:
         self._running = True

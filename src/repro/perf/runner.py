@@ -8,6 +8,7 @@ Usage::
     python -m repro perf --check --quick    # the tier-1 smoke configuration
     python -m repro perf --jobs 4          # macro scenarios on 4 workers
     python -m repro perf engine_churn engine_churn_legacy
+    python -m repro perf --profile fleet_slot   # cProfile one benchmark
     python -m repro perf --list
 
 Exit codes: 0 (ran / gate passed), 1 (gate failed), 2 (usage error).
@@ -76,6 +77,45 @@ def _format_text(report: PerfReport) -> str:
     return "\n".join(lines)
 
 
+#: Rows printed per pstats table in ``--profile NAME`` mode.
+PROFILE_STATS_ROWS = 25
+
+
+def run_profiled(name: str, quick: bool = False) -> int:
+    """Run one named benchmark under :mod:`cProfile` and print the pstats
+    hot-spot tables (by cumulative and by internal time).
+
+    The benchmark's own wall measurement still goes through
+    :func:`repro.perf.timing.wall_ns` (PERF001) — cProfile wraps it, so
+    the printed ``wall_seconds`` is the *profiled* figure and must not be
+    pasted into BENCH_perf.json.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    spec = CATALOG[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        raw = spec.run(quick)
+    finally:
+        profiler.disable()
+    print(
+        f"profile: {name} ({spec.kind}) — {raw.events:,d} events in "
+        f"{raw.wall_seconds:.3f}s under cProfile"
+        + (" [quick]" if quick else "")
+    )
+    for sort_key, title in (("cumulative", "by cumulative time"),
+                            ("tottime", "by internal time")):
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats(sort_key).print_stats(PROFILE_STATS_ROWS)
+        print(f"\n--- {title} ---")
+        print(stream.getvalue().rstrip())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.cliopts import harness_options
 
@@ -94,9 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: {DEFAULT_TOLERANCE}); 0 disables rate checks",
     )
     parser.add_argument(
-        "--profile", action=argparse.BooleanOptionalAction, default=None,
-        help="force the macro profiling pass on/off "
-             "(default: on for full runs, off for --quick)",
+        "--profile", nargs="?", const=True, default=None, metavar="NAME",
+        help="without a value: force the macro profiling pass on "
+             "(default: on for full runs, off for --quick); with a "
+             "benchmark NAME: run only that benchmark under cProfile and "
+             "print the pstats hot-spot tables (writes no BENCH file)",
+    )
+    parser.add_argument(
+        "--no-profile", dest="profile", action="store_const", const=False,
+        help="force the macro profiling pass off",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -118,6 +164,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, spec in CATALOG.items():
             print(f"  {name:32s} {spec.kind:5s} {spec.description}")
         return 0
+
+    if isinstance(args.profile, str):
+        if args.profile not in CATALOG:
+            print(f"repro perf: unknown benchmark {args.profile!r} (see --list)",
+                  file=sys.stderr)
+            return 2
+        if args.check:
+            print("repro perf: --profile NAME and --check are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        return run_profiled(args.profile, quick=args.quick)
 
     bench_path = args.out if args.out is not None else default_bench_path()
 

@@ -108,11 +108,15 @@ class PopSampler:
                     handle = entry[3]
                     callback = handle.callback
 
-                    def timed(*args: Any, _cb=callback, _s=sampler) -> Any:
+                    def timed(*args: Any, _cb=callback, _s=sampler, _h=handle) -> Any:
+                        # Restore before recording: a periodic handle is
+                        # popped again next occurrence, and re-wrapping a
+                        # still-wrapped callback would nest forever.
                         start = wall_ns()
                         try:
                             return _cb(*args)
                         finally:
+                            _h.callback = _cb
                             _s._record(_cb, wall_ns() - start)
 
                     handle.callback = timed

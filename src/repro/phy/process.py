@@ -62,7 +62,7 @@ from repro.phy.mimo import BeamformingTracker
 from repro.phy.numerology import SlotClock, TddPattern
 from repro.phy.snr_filter import SnrMovingAverage
 from repro.phy.transport import LinkDirection, TransportBlock
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventHandle, PeriodicHandle, Simulator
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
 from repro.sim.units import US
@@ -170,8 +170,12 @@ class PhyProcess(Process):
         self.service_inflation_ns = 0
         #: FAPI channel back toward the L2 / Orion peer.
         self.fapi_tx: Optional[ShmChannel] = None
+        #: Optional fleet-wide vectorized encode backend
+        #: (:class:`repro.fleet.phy_backend.FleetPhyBackend`); None keeps
+        #: the per-cell ``codec.encode_blocks`` path.
+        self.phy_backend: Optional[object] = None
         self._pending: List[EventHandle] = []
-        self._tick_handle: Optional[EventHandle] = None
+        self._tick_handle: Optional[PeriodicHandle] = None
         self._schedule_next_slot()
 
     # ------------------------------------------------------------------
@@ -299,25 +303,25 @@ class PhyProcess(Process):
     # Slot engine
     # ------------------------------------------------------------------
     def _schedule_next_slot(self) -> None:
-        """Arm the tick for the next slot's transmit deadline."""
+        """Arm the per-slot tick (wheel lane) at the next transmit deadline."""
         next_slot = self.slot_clock.slot_at(self.now + self.config.tx_lead_ns) + 1
         fire_at = self.slot_clock.slot_start(next_slot) - self.config.tx_lead_ns
-        self._tick_handle = self.sim.at(
-            fire_at, self._slot_tick, next_slot, label=f"{self.name}.tick"
+        self._tick_handle = self.sim.schedule_periodic(
+            self.slot_clock.slot_duration_ns,
+            self._slot_tick,
+            first_at=fire_at,
+            label=f"{self.name}.tick",
         )
 
-    def _slot_tick(self, abs_slot: int) -> None:
+    def _slot_tick(self) -> None:
         if not self.alive:
             return
-        fire_at = self.slot_clock.slot_start(abs_slot + 1) - self.config.tx_lead_ns
-        self._tick_handle = self.sim.at(
-            fire_at, self._slot_tick, abs_slot + 1, label=f"{self.name}.tick"
-        )
+        # Fires tx_lead_ns before each slot boundary, so the target slot
+        # is the one containing now + lead.
+        abs_slot = self.slot_clock.slot_at(self.now + self.config.tx_lead_ns)
         for cell in self.cells.values():
             if cell.started:
                 self._process_cell_slot(cell, abs_slot)
-        if not self.alive:
-            return
 
     def _tx_jitter_ns(self) -> int:
         """Transmit-time jitter for the slot's first DL packet.
@@ -385,6 +389,8 @@ class PhyProcess(Process):
                 ul_pdus,
                 label=f"{self.name}.ul_done",
             )
+            if self.phy_backend is not None:
+                self.phy_backend.register(done_at, self, cell, abs_slot, ul_pdus)
             self._pending.append(handle)
             if len(self._pending) > 64:
                 self._pending = [h for h in self._pending if h.pending]
@@ -521,11 +527,14 @@ class PhyProcess(Process):
             (pdu, cell.captures.pop((abs_slot, pdu.ue_id), None))
             for pdu in ul_pdus
         ]
-        encoded = iter(
-            self.codec.encode_blocks(
-                [capture.block for _, capture in captured if capture is not None]
-            )
-        )
+        blocks = [capture.block for _, capture in captured if capture is not None]
+        if self.phy_backend is not None:
+            # Fleet backend: one batched kernel invocation covers every
+            # cell completing at this instant; element-for-element
+            # identical to the per-cell call below.
+            encoded = iter(self.phy_backend.encode_blocks(self, blocks))
+        else:
+            encoded = iter(self.codec.encode_blocks(blocks))
         for pdu, capture in captured:
             if capture is None:
                 # Nothing arrived on the fronthaul for this allocation

@@ -28,16 +28,32 @@ Design notes
   ``compaction_threshold`` **and** outnumber live ones — so compaction
   cost stays amortized O(1) per cancel while the queue never holds more
   than ~half garbage.
-* ``_pop`` is the single point through which every fired event leaves the
-  queue; the perf sampler (:mod:`repro.perf.sampler`) hooks it to build
-  per-subsystem time shares without instrumenting callbacks.
+* Strictly periodic work (slot ticks, FAPI timers, heartbeats, detector
+  ticks) rides a second lane: the **slot wheel**, a calendar queue keyed
+  on absolute integer-ns fire times (:meth:`Simulator.schedule_periodic`).
+  Each periodic event keeps exactly one queued occurrence; when it pops,
+  the engine re-arms the next occurrence with an O(1) bucket append
+  instead of an O(log n) heap push. The two lanes merge at pop time under
+  the identical ``(time, tie, seq)`` total order — the engine draws the
+  re-arm's tie/seq keys immediately before invoking the callback, exactly
+  where the old self-rescheduling call sites drew them, so traces (and
+  the tie-order race detector) are bit-identical across lanes.
+* Wheel garbage (occurrences orphaned by :meth:`PeriodicHandle.cancel` /
+  ``re_arm`` churn) is bounded by the same policy as the heap: epoch
+  tokens invalidate stale occurrences in O(1), and the wheel is compacted
+  once garbage exceeds ``compaction_threshold`` and outnumbers live
+  occurrences (``wheel_compactions`` counts rebuilds).
+* ``_pop`` is the single point through which every fired event leaves
+  either lane; the perf sampler (:mod:`repro.perf.sampler`) hooks it to
+  build per-subsystem time shares without instrumenting callbacks.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,8 +95,15 @@ class EventHandle:
         self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Idempotent; safe after firing."""
+        """Prevent the event from firing. Idempotent; safe after firing.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a cheap no-op counted in :attr:`Simulator.cancel_noops` — it
+        never plants a tombstone in the queue.
+        """
         if self.cancelled or self.fired:
+            if self._sim is not None:
+                self._sim.cancel_noops += 1
             return
         self.cancelled = True
         if self._sim is not None:
@@ -95,6 +118,110 @@ class EventHandle:
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         name = self.label or getattr(self.callback, "__qualname__", repr(self.callback))
         return f"<EventHandle t={self.time} {name} {state}>"
+
+
+class PeriodicHandle:
+    """Handle to a wheel-lane periodic event (:meth:`Simulator.schedule_periodic`).
+
+    A periodic event keeps exactly one queued *occurrence* at a time; the
+    engine re-arms the next occurrence when the current one pops. ``epoch``
+    is a validity token: :meth:`cancel` bumps it, orphaning any queued
+    occurrence in O(1) (the stale bucket entry is skipped and reclaimed
+    lazily, exactly like a cancelled heap entry). :meth:`re_arm` revives a
+    cancelled handle with a fresh occurrence — the cancel/re-arm pair is
+    the wheel-lane equivalent of the heap's cancel/reschedule churn.
+    """
+
+    __slots__ = (
+        "period",
+        "callback",
+        "args",
+        "cancelled",
+        "fired",
+        "label",
+        "epoch",
+        "next_time",
+        "_sim",
+    )
+
+    def __init__(
+        self,
+        period: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.period = period
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        #: True once any occurrence has fired (kept for run-loop symmetry
+        #: with :class:`EventHandle`; a fired periodic is still pending).
+        self.fired = False
+        self.label = label
+        #: Validity token: occurrences enqueue the epoch current at arm
+        #: time, and a mismatch at pop time means the occurrence is stale.
+        self.epoch = 0
+        #: Absolute fire time of the queued occurrence (None if cancelled).
+        self.next_time: Optional[int] = None
+        self._sim: Optional["Simulator"] = None
+
+    def cancel(self) -> None:
+        """Stop the periodic: orphan the queued occurrence in O(1).
+
+        Idempotent — a repeated cancel is a no-op counted in
+        :attr:`Simulator.cancel_noops`, mirroring the heap lane.
+        """
+        if self.cancelled:
+            if self._sim is not None:
+                self._sim.cancel_noops += 1
+            return
+        self.cancelled = True
+        self.epoch += 1
+        self.next_time = None
+        if self._sim is not None:
+            self._sim._wheel_note_cancel()
+
+    def re_arm(
+        self,
+        *,
+        start_offset: Optional[int] = None,
+        first_at: Optional[int] = None,
+    ) -> None:
+        """Revive a cancelled periodic with a fresh first occurrence.
+
+        The first fire time is ``first_at`` if given, else ``now +
+        start_offset`` (default ``now + period``). Re-arming a live handle
+        is an error — cancel it first.
+        """
+        if self._sim is None:
+            raise SimulationError("periodic handle is not bound to a simulator")
+        if not self.cancelled:
+            raise SimulationError(
+                f"cannot re-arm live periodic {self.label or self.callback!r}; "
+                "cancel it first"
+            )
+        sim = self._sim
+        if first_at is None:
+            offset = self.period if start_offset is None else start_offset
+            first_at = sim._now + offset
+        if first_at < sim._now:
+            raise SimulationError(
+                f"cannot re-arm at t={first_at} ns; clock is already at {sim._now} ns"
+            )
+        self.cancelled = False
+        self.next_time = first_at
+        sim._wheel_arm(self, first_at)
+
+    @property
+    def pending(self) -> bool:
+        """True while the periodic is armed (cancel is the only way out)."""
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else f"next={self.next_time}"
+        name = self.label or getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<PeriodicHandle period={self.period} {name} {state}>"
 
 
 class SimClock:
@@ -150,6 +277,20 @@ class Simulator:
         self.compactions = 0
         #: Cancelled entries currently sitting in the heap.
         self._cancelled_in_queue = 0
+        #: Slot-wheel lane: fire time -> [consume_idx, entries] where
+        #: entries is a (tie, seq, handle, epoch) list sorted by (tie, seq).
+        self._wheel: Dict[int, List[Any]] = {}
+        #: Min-heap of bucket fire times (lazily pruned as buckets drain).
+        self._wheel_times: List[int] = []
+        #: Live (armed, epoch-valid) occurrences queued in the wheel.
+        self._wheel_size = 0
+        #: Stale occurrences (cancel/re-arm churn) awaiting reclamation.
+        self._wheel_garbage = 0
+        #: Number of stale-occurrence wheel rebuilds performed so far.
+        self.wheel_compactions = 0
+        #: Cancels that found nothing to do (already fired / already
+        #: cancelled), across both lanes. Diagnostic only.
+        self.cancel_noops = 0
         self.tie_shuffle_seed = tie_shuffle_seed
         self._tie_stream: Optional[BatchedIntegers] = (
             None
@@ -218,6 +359,139 @@ class Simulator:
         )
         return handle
 
+    def schedule_periodic(
+        self,
+        period: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_offset: Optional[int] = None,
+        first_at: Optional[int] = None,
+        label: str = "",
+    ) -> PeriodicHandle:
+        """Schedule ``callback(*args)`` every ``period`` ns on the wheel lane.
+
+        The first occurrence fires at ``first_at`` if given, else at
+        ``now + start_offset`` (default ``now + period``). Each pop re-arms
+        the next occurrence at ``fire_time + period`` with an O(1) bucket
+        append — the structural win over self-rescheduling heap events.
+        The re-arm draws its (tie, seq) keys immediately before the
+        callback runs, at the exact point the equivalent self-rescheduling
+        callback would have drawn them, so traces are bit-identical across
+        lanes (including under ``tie_shuffle_seed``).
+        """
+        if period < 1:
+            raise SimulationError(f"periodic period must be >= 1 ns, got {period}")
+        if first_at is None:
+            offset = period if start_offset is None else start_offset
+            first_at = self._now + offset
+        if first_at < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={first_at} ns; clock is already at {self._now} ns"
+            )
+        handle = PeriodicHandle(period, callback, args, label=label)
+        handle._sim = self
+        handle.next_time = first_at
+        self._wheel_arm(handle, first_at)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Wheel lane internals
+    # ------------------------------------------------------------------
+    def _wheel_arm(self, handle: PeriodicHandle, time: int) -> None:
+        """Enqueue one occurrence of ``handle`` at ``time``.
+
+        Draws the (tie, seq) ordering keys here — arm order is draw order,
+        matching :meth:`at` exactly.
+        """
+        entry = (self._tie_key(), next(self._seq), handle, handle.epoch)
+        bucket = self._wheel.get(time)
+        if bucket is None:
+            self._wheel[time] = [0, [entry]]
+            heapq.heappush(self._wheel_times, time)
+        else:
+            entries = bucket[1]
+            last = entries[-1]
+            # seq is monotonic, so FIFO arms always append; a tie-shuffle
+            # draw may land anywhere at or after the consume index.
+            if entry[0] > last[0] or (entry[0] == last[0] and entry[1] > last[1]):
+                entries.append(entry)
+            else:
+                insort(entries, entry, lo=bucket[0])
+        self._wheel_size += 1
+
+    def _wheel_head(self) -> Optional[Tuple[int, int, int, PeriodicHandle]]:
+        """Earliest live wheel occurrence as (time, tie, seq, handle),
+        left in place. Skips and reclaims stale occurrences and drained
+        buckets on the way."""
+        times = self._wheel_times
+        wheel = self._wheel
+        while times:
+            time = times[0]
+            bucket = wheel.get(time)
+            if bucket is None:
+                heapq.heappop(times)
+                continue
+            idx, entries = bucket
+            end = len(entries)
+            while idx < end:
+                tie, seq, handle, epoch = entries[idx]
+                if handle.cancelled or handle.epoch != epoch:
+                    idx += 1
+                    self._wheel_garbage -= 1
+                    continue
+                bucket[0] = idx
+                return (time, tie, seq, handle)
+            bucket[0] = idx
+            del wheel[time]
+            heapq.heappop(times)
+        return None
+
+    def _wheel_consume(self, head: Tuple[int, int, int, PeriodicHandle]) -> _QueueEntry:
+        """Dequeue the occurrence returned by :meth:`_wheel_head` and
+        re-arm the handle's next occurrence (drawing its tie/seq keys now,
+        immediately before the caller invokes the callback)."""
+        time, tie, seq, handle = head
+        self._wheel[time][0] += 1
+        self._wheel_size -= 1
+        next_time = time + handle.period
+        handle.next_time = next_time
+        self._wheel_arm(handle, next_time)
+        return (time, tie, seq, handle)
+
+    def _wheel_note_cancel(self) -> None:
+        """Called by :meth:`PeriodicHandle.cancel` while an occurrence is queued."""
+        self._wheel_size -= 1
+        self._wheel_garbage += 1
+        if (
+            self._wheel_garbage >= self.compaction_threshold
+            and self._wheel_garbage >= self._wheel_size
+        ):
+            self._wheel_compact()
+
+    def _wheel_compact(self) -> None:
+        """Rebuild the wheel without stale occurrences.
+
+        Bucket order is (tie, seq) with unique seq, so filtering preserves
+        the exact pop sequence — compaction is invisible to execution
+        order, mirroring the heap's :meth:`_compact`.
+        """
+        new_wheel: Dict[int, List[Any]] = {}
+        times: List[int] = []
+        for time, (idx, entries) in self._wheel.items():
+            live = [
+                entry
+                for entry in entries[idx:]
+                if not entry[2].cancelled and entry[2].epoch == entry[3]
+            ]
+            if live:
+                new_wheel[time] = [0, live]
+                times.append(time)
+        heapq.heapify(times)
+        self._wheel = new_wheel
+        self._wheel_times = times
+        self._wheel_garbage = 0
+        self.wheel_compactions += 1
+
     # ------------------------------------------------------------------
     # Cancellation accounting
     # ------------------------------------------------------------------
@@ -248,12 +522,16 @@ class Simulator:
     def _pop(self, limit: Optional[int] = None) -> Optional[_QueueEntry]:
         """Pop the next live entry with time <= ``limit`` (None = no limit).
 
-        Skips (and drops) cancelled entries; leaves a live head beyond
-        ``limit`` in place and returns None. Every event that fires flows
-        through here — the perf sampler wraps this method to attribute
-        wall time to subsystems.
+        Merges the heap and wheel lanes under the shared (time, tie, seq)
+        total order; a popped wheel occurrence re-arms its successor
+        before returning. Skips (and drops) cancelled entries; leaves a
+        live head beyond ``limit`` in place and returns None. Every event
+        that fires — from either lane — flows through here; the perf
+        sampler wraps this method to attribute wall time to subsystems.
         """
         queue = self._queue
+        if self._wheel_size:
+            return self._pop_merged(limit)
         while queue:
             head = queue[0]
             if head[3].cancelled:
@@ -264,6 +542,34 @@ class Simulator:
                 return None
             return heapq.heappop(queue)
         return None
+
+    def _pop_merged(self, limit: Optional[int]) -> Optional[_QueueEntry]:
+        """Two-lane pop: compare the live heap head with the live wheel
+        head and dequeue whichever sorts first on (time, tie, seq)."""
+        queue = self._queue
+        heap_head: Optional[_QueueEntry] = None
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            heap_head = head
+            break
+        wheel_head = self._wheel_head()
+        if wheel_head is None:
+            if heap_head is None:
+                return None
+            if limit is not None and heap_head[0] > limit:
+                return None
+            return heapq.heappop(queue)
+        if heap_head is not None and heap_head[:3] <= wheel_head[:3]:
+            if limit is not None and heap_head[0] > limit:
+                return None
+            return heapq.heappop(queue)
+        if limit is not None and wheel_head[0] > limit:
+            return None
+        return self._wheel_consume(wheel_head)
 
     def step(self) -> bool:
         """Run the single next pending event. Returns False if queue is empty."""
@@ -329,7 +635,8 @@ class Simulator:
         self._running = False
 
     def _peek_time(self) -> Optional[int]:
-        """Timestamp of the next live event, skipping cancelled entries."""
+        """Timestamp of the next live event in either lane."""
+        heap_time: Optional[int] = None
         queue = self._queue
         while queue:
             head = queue[0]
@@ -337,18 +644,41 @@ class Simulator:
                 heapq.heappop(queue)
                 self._cancelled_in_queue -= 1
                 continue
-            return head[0]
-        return None
+            heap_time = head[0]
+            break
+        if not self._wheel_size:
+            return heap_time
+        wheel_head = self._wheel_head()
+        if wheel_head is None:
+            return heap_time
+        if heap_time is None:
+            return wheel_head[0]
+        return min(heap_time, wheel_head[0])
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return len(self._queue) - self._cancelled_in_queue
+        """Number of live (non-cancelled) events queued across both lanes."""
+        return len(self._queue) - self._cancelled_in_queue + self._wheel_size
 
     @property
     def queued_entries(self) -> int:
         """Raw heap size including cancelled garbage (diagnostics/tests)."""
         return len(self._queue)
+
+    @property
+    def wheel_pending(self) -> int:
+        """Live periodic occurrences queued in the wheel lane."""
+        return self._wheel_size
+
+    @property
+    def wheel_entries(self) -> int:
+        """Wheel occupancy including stale garbage (diagnostics/tests)."""
+        return self._wheel_size + self._wheel_garbage
+
+    @property
+    def wheel_buckets(self) -> int:
+        """Distinct fire-time buckets currently held by the wheel."""
+        return len(self._wheel)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self._now}ns pending={self.pending_events}>"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventHandle, PeriodicHandle, Simulator
 
 
 class Process:
@@ -56,8 +56,9 @@ class PeriodicProcess(Process):
         self.period = period
         self.tick_count = 0
         self._stopped = False
-        self._next_tick: Optional[EventHandle] = None
-        self._next_tick = sim.schedule(start_offset, self._tick, label=f"{name}.tick")
+        self._next_tick: Optional[PeriodicHandle] = sim.schedule_periodic(
+            period, self._tick, start_offset=start_offset, label=f"{name}.tick"
+        )
 
     def stop(self) -> None:
         """Stop ticking; the pending tick (if any) is cancelled."""
@@ -76,9 +77,6 @@ class PeriodicProcess(Process):
             return
         tick = self.tick_count
         self.tick_count += 1
-        self._next_tick = self.sim.schedule(
-            self.period, self._tick, label=f"{self.name}.tick"
-        )
         self.on_tick(tick)
 
     def on_tick(self, tick: int) -> None:

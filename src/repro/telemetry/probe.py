@@ -9,6 +9,11 @@ active :class:`~repro.telemetry.metrics.MetricsRegistry` under
 :func:`repro.perf.sampler.subsystem_of` so perf shares and telemetry
 counts bucket identically.
 
+The probe also keeps the slot-wheel lane's accounting observable: it
+samples wheel occupancy at every pop (tracking the peak) and, on exit,
+publishes the engines' compaction and cancel-no-op totals — counters the
+engine maintains anyway, surfaced here as ``engine.wheel.*`` metrics.
+
 Counting never touches the handle's callback, never reads a clock, and
 never writes a trace record, so a probed run's canonical digest is
 bit-identical to an unprobed one. The patch is class-level and
@@ -18,7 +23,7 @@ process-global for the duration of the ``with`` block, exactly like
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.perf.sampler import subsystem_of
 from repro.sim.engine import Simulator
@@ -26,6 +31,9 @@ from repro.telemetry.metrics import MetricsRegistry, active
 
 #: Counter-name prefix for per-subsystem fired-event counts.
 EVENT_COUNTER_PREFIX = "engine.events."
+
+#: Metric-name prefix for the wheel lane's occupancy/compaction stats.
+WHEEL_METRIC_PREFIX = "engine.wheel."
 
 
 class EventCountProbe:
@@ -46,7 +54,14 @@ class EventCountProbe:
         self._registry = registry
         #: Fired-event count per subsystem (always populated).
         self.counts: Dict[str, int] = {}
+        #: Wheel-lane accounting, filled in on exit: peak occupancy seen
+        #: at any pop, plus the engines' compaction / cancel-no-op /
+        #: residual-entry totals.
+        self.wheel_stats: Dict[str, int] = {}
         self._saved_pop: Optional[Callable[..., Any]] = None
+        self._entered_registry: Optional[MetricsRegistry] = None
+        self._sims: List[Simulator] = []
+        self._peak: List[int] = [0]
 
     @property
     def total_events(self) -> int:
@@ -59,7 +74,11 @@ class EventCountProbe:
         if self._saved_pop is not None:
             raise RuntimeError("EventCountProbe is not reentrant")
         registry = self._registry if self._registry is not None else active()
+        self._entered_registry = registry
         counts = self.counts
+        sims = self._sims
+        last_sim: List[Optional[Simulator]] = [None]
+        peak = self._peak
         inner_pop = Simulator._pop
         self._saved_pop = inner_pop
 
@@ -70,6 +89,12 @@ class EventCountProbe:
             def counting_pop(sim: Simulator, limit: Optional[int] = None):
                 entry = inner_pop(sim, limit)
                 if entry is not None:
+                    if sim is not last_sim[0]:
+                        last_sim[0] = sim
+                        if sim not in sims:
+                            sims.append(sim)
+                    if sim._wheel_size > peak[0]:
+                        peak[0] = sim._wheel_size
                     bucket = subsystem_of(entry[3].callback)
                     counts[bucket] = counts.get(bucket, 0) + 1
                     name = EVENT_COUNTER_PREFIX + bucket
@@ -84,6 +109,12 @@ class EventCountProbe:
             def counting_pop(sim: Simulator, limit: Optional[int] = None):
                 entry = inner_pop(sim, limit)
                 if entry is not None:
+                    if sim is not last_sim[0]:
+                        last_sim[0] = sim
+                        if sim not in sims:
+                            sims.append(sim)
+                    if sim._wheel_size > peak[0]:
+                        peak[0] = sim._wheel_size
                     bucket = subsystem_of(entry[3].callback)
                     counts[bucket] = counts.get(bucket, 0) + 1
                 return entry
@@ -94,3 +125,21 @@ class EventCountProbe:
     def __exit__(self, *exc_info: Any) -> None:
         Simulator._pop = self._saved_pop
         self._saved_pop = None
+        sims = self._sims
+        self.wheel_stats = {
+            "peak_pending": self._peak[0],
+            "compactions": sum(sim.wheel_compactions for sim in sims),
+            "cancel_noops": sum(sim.cancel_noops for sim in sims),
+            "entries_final": sum(sim.wheel_entries for sim in sims),
+        }
+        registry = self._entered_registry
+        self._entered_registry = None
+        if registry is not None:
+            for name in ("compactions", "cancel_noops"):
+                registry.counter(WHEEL_METRIC_PREFIX + name).inc(
+                    self.wheel_stats[name]
+                )
+            for name in ("peak_pending", "entries_final"):
+                registry.gauge(WHEEL_METRIC_PREFIX + name).set(
+                    self.wheel_stats[name]
+                )

@@ -278,20 +278,17 @@ class UserEquipment(Process):
     # ------------------------------------------------------------------
     def _schedule_tick(self) -> None:
         next_slot = self.slot_clock.slot_at(self.now) + 1
-        self.sim.at(
-            self.slot_clock.slot_start(next_slot) + self.config.pucch_stage_offset_ns,
+        self.sim.schedule_periodic(
+            self.slot_clock.slot_duration_ns,
             self._tick,
-            next_slot,
+            first_at=self.slot_clock.slot_start(next_slot)
+            + self.config.pucch_stage_offset_ns,
             label=f"{self.name}.tick",
         )
 
-    def _tick(self, abs_slot: int) -> None:
-        self.sim.at(
-            self.slot_clock.slot_start(abs_slot + 1) + self.config.pucch_stage_offset_ns,
-            self._tick,
-            abs_slot + 1,
-            label=f"{self.name}.tick",
-        )
+    def _tick(self) -> None:
+        # Fires pucch_stage_offset_ns into each slot.
+        abs_slot = self.slot_clock.slot_at(self.now)
         self._staged_slots = {s for s in self._staged_slots if s >= abs_slot - 4}
         if not self.attached:
             return

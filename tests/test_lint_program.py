@@ -394,6 +394,7 @@ class TestRuleCatalog:
         ("P4R003", "error", "register accessed too often in one pass"),
         ("PAR001", "error", "shard-worker purity violation"),
         ("PERF001", "error", "direct time.* use in perf package"),
+        ("PERF002", "error", "periodic self-reschedule through the heap"),
         ("STREAM001", "error", "stream name not statically resolvable"),
         (
             "STREAM002",

@@ -516,6 +516,71 @@ class TestPerfRules:
         )
         assert "PERF001" not in rule_ids(findings)
 
+    SELF_RESCHEDULE = (
+        "class P:\n"
+        "    def _tick(self):\n"
+        "        self.count += 1\n"
+        "        self.sim.schedule(self.period, self._tick)\n"
+    )
+
+    def test_perf002_self_reschedule_flagged(self):
+        findings = lint(self.SELF_RESCHEDULE, path="src/repro/phy/process.py")
+        assert "PERF002" in rule_ids(findings)
+
+    def test_perf002_at_with_literal_delay_flagged(self):
+        source = (
+            "class P:\n"
+            "    def _beat(self):\n"
+            "        self.sim.at(self.sim.now + 1000, self._beat)\n"
+            "    def _pulse(self):\n"
+            "        self.sim.at(1000, self._pulse)\n"
+        )
+        findings = lint(source, path="src/repro/core/orion.py")
+        flagged = [f.line for f in findings if f.rule_id == "PERF002"]
+        # Only the literal-time _pulse: _beat's time is a computed BinOp.
+        assert flagged == [5]
+
+    def test_perf002_computed_delay_is_deadline_not_periodic(self):
+        source = (
+            "class P:\n"
+            "    def _watchdog(self):\n"
+            "        self.sim.schedule(self.deadline - self.sim.now, self._watchdog)\n"
+        )
+        assert "PERF002" not in rule_ids(
+            lint(source, path="src/repro/core/orion.py")
+        )
+
+    def test_perf002_rescheduling_a_different_method_unflagged(self):
+        source = (
+            "class P:\n"
+            "    def _tick(self):\n"
+            "        self.sim.schedule(100, self._other)\n"
+        )
+        assert "PERF002" not in rule_ids(
+            lint(source, path="src/repro/phy/process.py")
+        )
+
+    def test_perf002_schedule_periodic_is_the_sanctioned_api(self):
+        source = (
+            "class P:\n"
+            "    def start(self):\n"
+            "        self.sim.schedule_periodic(self.period, self._tick)\n"
+        )
+        assert "PERF002" not in rule_ids(
+            lint(source, path="src/repro/phy/process.py")
+        )
+
+    def test_perf002_suppressible_for_legacy_sites(self):
+        source = (
+            "class P:\n"
+            "    def _fire(self):\n"
+            "        self.sim.schedule(self.period, self._fire)"
+            "  # slinglint: disable=PERF002\n"
+        )
+        assert "PERF002" not in rule_ids(
+            lint(source, path="src/repro/perf/legacy.py")
+        )
+
 
 class TestP4BudgetRules:
     def test_p4r002_table_count(self):

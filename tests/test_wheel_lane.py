@@ -1,0 +1,350 @@
+"""Tests for the slot-wheel scheduling lane and the fleet-PHY backend.
+
+Covers the PR's contract surface: the ``schedule_periodic`` API
+(cancel / re-arm / no-op accounting), the heap-vs-wheel tie-order
+differential under ``tie_shuffle_seed`` sweeps, bounded wheel memory
+under cancel/re-arm storms, and the vectorized fleet-PHY backend's
+byte-identity to the per-cell encode path (plus the legacy-engine fleet
+digest equality the ``fleet_slot`` benchmark pair relies on).
+"""
+
+import hashlib
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+#: Seed sweep for the tie-order differential: FIFO plus shuffled ties.
+TIE_SEEDS = (None, 1, 2, 7, 20260)
+
+
+def _sequence_digest(log):
+    return hashlib.sha256(repr(log).encode("ascii")).hexdigest()
+
+
+class TestSchedulePeriodicApi:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(100, lambda: times.append(sim.now))
+        sim.run_for(550)
+        assert times == [100, 200, 300, 400, 500]
+
+    def test_start_offset_shifts_first_occurrence(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(100, lambda: times.append(sim.now), start_offset=30)
+        sim.run_for(350)
+        assert times == [30, 130, 230, 330]
+
+    def test_first_at_pins_first_occurrence(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        times = []
+        sim.schedule_periodic(100, lambda: times.append(sim.now), first_at=45)
+        sim.run_for(300)
+        assert times == [45, 145, 245]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0, lambda: None)
+
+    def test_first_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(10, lambda: None, first_at=50)
+
+    def test_cancel_stops_future_occurrences(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(100, lambda: times.append(sim.now))
+        sim.run_for(250)
+        handle.cancel()
+        assert not handle.pending
+        sim.run_for(500)
+        assert times == [100, 200]
+
+    def test_re_arm_on_live_handle_rejected(self):
+        sim = Simulator()
+        handle = sim.schedule_periodic(100, lambda: None)
+        with pytest.raises(SimulationError):
+            handle.re_arm()
+
+    def test_cancel_then_re_arm_resumes(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(100, lambda: times.append(sim.now))
+        sim.run_for(250)
+        handle.cancel()
+        sim.run_for(250)  # now = 500
+        handle.re_arm(start_offset=50)
+        sim.run_for(300)
+        assert times == [100, 200, 550, 650, 750]
+
+    def test_pending_events_includes_wheel_occurrences(self):
+        sim = Simulator()
+        sim.schedule(500, lambda: None)
+        sim.schedule_periodic(100, lambda: None)
+        assert sim.pending_events == 2
+        assert sim.wheel_pending == 1
+
+    def test_repeated_periodic_cancel_counts_as_noop(self):
+        sim = Simulator()
+        handle = sim.schedule_periodic(100, lambda: None)
+        handle.cancel()
+        assert sim.cancel_noops == 0
+        handle.cancel()
+        handle.cancel()
+        assert sim.cancel_noops == 2
+
+    def test_cancel_after_fire_counts_as_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.cancel_noops == 0
+        handle.cancel()
+        assert sim.cancel_noops == 1
+        handle.cancel()
+        assert sim.cancel_noops == 2
+
+
+def _make_self_rescheduler(sim, period, label, log):
+    """The pre-wheel periodic idiom: re-arm through the heap first (the
+    draw point the wheel lane reproduces), then do the tick's work."""
+
+    def tick():
+        sim.schedule(period, tick)
+        log.append((label, sim.now))
+    return tick
+
+
+def _heap_collisions(sim, log, lanes, period, rounds):
+    """One-shot heap events landing exactly on wheel occurrence times, so
+    every pop must merge the two lanes under (time, tie, seq)."""
+    for r in range(1, rounds + 1):
+        for k in range(lanes):
+            sim.at(r * period, log.append, (f"h{k}", r * period))
+
+
+class TestTieOrderDifferential:
+    """Same program through the wheel and through heap self-rescheduling
+    must produce identical firing sequences — for FIFO ties and for every
+    ``tie_shuffle_seed``, with same-instant heap/wheel collisions."""
+
+    LANES = 4
+    PERIOD = 100
+    ROUNDS = 10
+
+    def _run_wheel(self, seed):
+        sim = Simulator(tie_shuffle_seed=seed)
+        log = []
+        for i in range(self.LANES):
+            sim.schedule_periodic(
+                self.PERIOD,
+                lambda i=i: log.append((f"w{i}", sim.now)),
+                label=f"w{i}",
+            )
+        _heap_collisions(sim, log, self.LANES, self.PERIOD, self.ROUNDS)
+        sim.run_for(self.PERIOD * self.ROUNDS)
+        return log
+
+    def _run_heap(self, seed):
+        sim = Simulator(tie_shuffle_seed=seed)
+        log = []
+        for i in range(self.LANES):
+            tick = _make_self_rescheduler(sim, self.PERIOD, f"w{i}", log)
+            sim.schedule(self.PERIOD, tick)
+        _heap_collisions(sim, log, self.LANES, self.PERIOD, self.ROUNDS)
+        sim.run_for(self.PERIOD * self.ROUNDS)
+        return log
+
+    @pytest.mark.parametrize("seed", TIE_SEEDS)
+    def test_wheel_matches_heap_self_reschedule(self, seed):
+        wheel_log = self._run_wheel(seed)
+        heap_log = self._run_heap(seed)
+        assert len(wheel_log) == self.LANES * self.ROUNDS * 2
+        assert _sequence_digest(wheel_log) == _sequence_digest(heap_log)
+        assert wheel_log == heap_log
+
+    def test_shuffled_orders_differ_from_fifo_somewhere(self):
+        # The sweep is only meaningful if the shuffle actually permutes
+        # same-instant events for at least one seed.
+        fifo = self._run_wheel(None)
+        assert any(self._run_wheel(seed) != fifo for seed in TIE_SEEDS[1:])
+
+    @pytest.mark.parametrize("seed", TIE_SEEDS[1:])
+    def test_same_seed_is_reproducible(self, seed):
+        assert self._run_wheel(seed) == self._run_wheel(seed)
+
+    def test_fifo_matches_legacy_engine(self):
+        from repro.perf.legacy import LegacySimulator
+
+        sim = LegacySimulator()
+        log = []
+        for i in range(self.LANES):
+            sim.schedule_periodic(
+                self.PERIOD,
+                lambda i=i: log.append((f"w{i}", sim.now)),
+                label=f"w{i}",
+            )
+        _heap_collisions(sim, log, self.LANES, self.PERIOD, self.ROUNDS)
+        sim.run_for(self.PERIOD * self.ROUNDS)
+        assert log == self._run_wheel(None)
+
+
+class TestWheelChurnBounded:
+    def test_cancel_re_arm_storm_keeps_wheel_bounded(self):
+        """A crash/restart storm must not grow the wheel: stale entries
+        are swept by compaction once they outnumber live ones."""
+        sim = Simulator(compaction_threshold=8)
+        lanes = 4
+        handles = [
+            sim.schedule_periodic(100, lambda: None, label=f"lane{i}")
+            for i in range(lanes)
+        ]
+        for _ in range(200):
+            sim.run_for(250)
+            # Several bounce cycles per round: each cancel strands the
+            # just-armed occurrence as wheel garbage.
+            for _ in range(5):
+                for handle in handles:
+                    handle.cancel()
+                    handle.re_arm(start_offset=100)
+        assert sim.wheel_pending == lanes
+        # Total stored entries (live + not-yet-swept garbage) stay within
+        # the compaction threshold of the live population, forever.
+        assert sim.wheel_entries <= lanes + sim.compaction_threshold
+        assert sim.wheel_compactions > 0
+
+    def test_cancelled_occurrence_never_fires_even_same_instant(self):
+        sim = Simulator()
+        fired = []
+        holder = []
+
+        def killer():
+            holder[0].cancel()
+
+        # Killer is scheduled first (lower seq), so at t=100 it runs
+        # before the lane's occurrence at the same instant — the epoch
+        # bump must invalidate the already-queued occurrence.
+        sim.at(100, killer)
+        holder.append(sim.schedule_periodic(100, lambda: fired.append(sim.now)))
+        sim.run_for(400)
+        assert fired == []
+        assert sim.wheel_pending == 0
+
+
+def _backend_fixture():
+    from repro.perf.benchmarks import CORPUS_SEED, _phy_slot_corpus
+    from repro.phy.codec import PhyCodec
+
+    # 8 blocks: the corpus assigns ue_id = 1 + (i % 8), and the gather
+    # keys captures by (slot, ue_id), so block count must not exceed the
+    # distinct-UE count.
+    blocks = _phy_slot_corpus(count=8)
+    codec = PhyCodec(np.random.default_rng(CORPUS_SEED))
+    sim = Simulator()
+    phy = SimpleNamespace(sim=sim, codec=codec)
+    return sim, phy, blocks
+
+
+class TestFleetPhyBackend:
+    def test_supplementary_path_byte_identical(self):
+        """Unregistered demand (no gather plan) must still return exactly
+        the per-cell encode output."""
+        from repro.fleet.phy_backend import FleetPhyBackend
+
+        sim, phy, blocks = _backend_fixture()
+        backend = FleetPhyBackend()
+        got = backend.encode_blocks(phy, blocks)
+        want = phy.codec.encode_blocks(blocks)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+        assert backend.stats.supplementary_blocks == len(blocks)
+
+    def test_gathered_path_byte_identical_and_batched(self):
+        from repro.fleet.phy_backend import FleetPhyBackend
+
+        sim, phy, blocks = _backend_fixture()
+        backend = FleetPhyBackend()
+        abs_slot = 7
+        pdus = [SimpleNamespace(ue_id=block.ue_id) for block in blocks]
+        # Two "cells" sharing the same planned completion instant; their
+        # captures alias the same transport blocks, as fleet islands with
+        # identical MAC schedules do.
+        cell = SimpleNamespace(
+            captures={
+                (abs_slot, block.ue_id): SimpleNamespace(block=block)
+                for block in blocks
+            }
+        )
+        sim.schedule(50, lambda: None)
+        sim.run()
+        backend.register(sim.now, phy, cell, abs_slot, pdus)
+        backend.register(sim.now, phy, cell, abs_slot, pdus)
+        got = backend.encode_blocks(phy, blocks)
+        want = phy.codec.encode_blocks(blocks)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+        assert backend.stats.supplementary_blocks == 0
+        assert backend.stats.gather_passes == 1
+        # Cross-plan dedup: the aliased plan adds no extra encodes.
+        unique = {(block.tb_id, block.modulation) for block in blocks}
+        assert backend.stats.blocks_encoded == len(unique)
+
+
+@pytest.mark.slow
+class TestFleetBackendDifferential:
+    CELLS = 6
+    TRACERS = 3
+    SEED = 11
+    #: Long enough that tracer UEs produce uplink captures (the encode
+    #: path the vectorized backend batches).
+    RUN_NS = 60_000_000
+
+    def _digest(self, phy_backend, sim=None):
+        from repro.fleet.composer import FleetConfig, build_fleet, fleet_digest
+
+        harness = build_fleet(
+            FleetConfig(
+                seed=self.SEED,
+                num_cells=self.CELLS,
+                tracer_cells=self.TRACERS,
+                phy_backend=phy_backend,
+            ),
+            sim=sim,
+        )
+        harness.run_for(self.RUN_NS)
+        return fleet_digest(harness), harness
+
+    def test_vectorized_backend_digest_identical_to_per_cell(self):
+        per_cell, _ = self._digest("per-cell")
+        vectorized, harness = self._digest("vectorized")
+        assert vectorized == per_cell
+        stats = harness.phy_backend.stats
+        assert stats.blocks_encoded > 0
+        assert stats.cache_hits > 0
+
+    def test_legacy_engine_fleet_digest_matches_live(self):
+        from repro.perf.legacy import LegacySimulator
+
+        live, live_harness = self._digest("per-cell")
+        legacy, legacy_harness = self._digest("per-cell", sim=LegacySimulator())
+        assert legacy == live
+        assert (
+            legacy_harness.sim.events_processed
+            == live_harness.sim.events_processed
+        )
+
+    def test_unknown_backend_rejected(self):
+        from repro.fleet.composer import FleetConfig, build_fleet
+
+        with pytest.raises(ValueError):
+            build_fleet(FleetConfig(phy_backend="gpu"))
